@@ -1,0 +1,93 @@
+// Figure 2 — Combinations of reward and masking methods for MIPS:
+// {all-steps, end-of-episode} × {masking, no-masking}, reporting training
+// rate (episodes/minute) and max # compatible rare nets.
+//
+// Paper's conclusion: masking + all-steps reward maximizes the number of
+// compatible rare nets; end-of-episode maximizes rate. We reproduce all four
+// bars on the mips16_like substrate.
+#include "common.hpp"
+
+using namespace deterrent;
+using namespace deterrent::bench;
+
+namespace {
+
+struct ComboResult {
+  double episodes_per_min = 0.0;
+  std::size_t max_compatible = 0;
+};
+
+ComboResult run_combo(const netlist::Netlist& comb,
+                      std::span<const analysis::RareNet> rare,
+                      const analysis::CompatibilityMatrix& matrix,
+                      core::RewardMode reward, core::MaskMode mask,
+                      double budget_seconds, std::size_t episodes_per_update) {
+  core::EnvConfig env_cfg;
+  env_cfg.reward_mode = reward;
+  env_cfg.mask_mode = mask;
+  // Unmasked agents waste steps on incompatible actions; cap episodes the
+  // same way for all combos so rates are comparable.
+  env_cfg.max_steps = 96;
+
+  core::DistinctSetPool pool;
+  auto factory = [&](std::size_t) -> std::unique_ptr<rl::Env> {
+    return std::make_unique<core::CompatibleSetEnv>(comb, rare, matrix, env_cfg, &pool);
+  };
+  rl::PpoConfig ppo = core::DeterrentConfig::boosted_ppo_defaults();
+  ppo.episodes_per_update = episodes_per_update;
+  rl::PpoTrainer trainer(factory, ppo, /*seed=*/5);
+
+  util::Stopwatch watch;
+  while (watch.elapsed_seconds() < budget_seconds) trainer.update();
+  const double minutes = watch.elapsed_seconds() / 60.0;
+  return {static_cast<double>(trainer.total_episodes()) / minutes,
+          pool.max_set_size()};
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = scale_from_env();
+  print_header("Figure 2 — reward x masking combinations (mips16_like)", scale);
+
+  const double budget_seconds =
+      scale.mode == util::BenchMode::Quick ? 8.0
+      : scale.mode == util::BenchMode::Full ? 90.0
+                                            : 30.0;
+
+  auto bench = bench_gen::load_benchmark("mips16_like");
+  const auto& comb = bench.scan.comb;
+  util::Rng rng(1);
+  util::ThreadPool pool;
+  const auto rare = analysis::find_rare_nets(comb, {}, rng, &pool);
+  const auto matrix = analysis::build_compatibility(comb, rare, {}, rng, &pool);
+  std::printf("offline: %zu rare nets; budget %.0fs per combo\n\n", rare.size(),
+              budget_seconds);
+
+  struct Combo {
+    const char* label;
+    core::RewardMode reward;
+    core::MaskMode mask;
+  };
+  const Combo combos[4] = {
+      {"All rew + NM", core::RewardMode::AllSteps, core::MaskMode::None},
+      {"All rew + M", core::RewardMode::AllSteps, core::MaskMode::Pairwise},
+      {"Eoe rew + NM", core::RewardMode::EndOfEpisode, core::MaskMode::None},
+      {"Eoe rew + M", core::RewardMode::EndOfEpisode, core::MaskMode::Pairwise},
+  };
+
+  util::Table table({"Combination", "Rate (episodes/min)", "Max # compatible rare nets"});
+  for (const auto& combo : combos) {
+    const ComboResult r = run_combo(comb, rare, matrix, combo.reward, combo.mask,
+                                    budget_seconds, scale.det_episodes);
+    table.add_row({combo.label, fmt(r.episodes_per_min, 1),
+                   std::to_string(r.max_compatible)});
+  }
+  table.print();
+
+  std::printf(
+      "\npaper (Fig. 2): masked combos dominate unmasked on compatible-set "
+      "size;\nend-of-episode combos dominate on episodes/min; 'All rew + M' "
+      "gives the largest sets.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 6 — Trigger coverage vs. number of test patterns, DETERRENT vs TGRL,
+// on c2670 and c6288.
+//
+// Paper: DETERRENT reaches its maximum coverage within a handful of patterns
+// (each pattern realizes a large compatible set); TGRL needs thousands. We
+// reproduce both curves from the first-activation indices — no re-simulation
+// per checkpoint.
+#include "analysis/scoap.hpp"
+#include "baselines/tgrl_like.hpp"
+#include "common.hpp"
+
+using namespace deterrent;
+using namespace deterrent::bench;
+
+namespace {
+
+void run_design(const std::string& name, const Scale& scale) {
+  std::printf("--- %s ---\n", name.c_str());
+  PreparedBenchmark prep = prepare_benchmark(name, scale);
+  auto& det = *prep.det;
+  const auto& comb = prep.comb();
+
+  det.train();
+  const auto det_patterns = det.extract_patterns();
+
+  util::Rng rng(13);
+  const auto scoap = analysis::compute_scoap(comb);
+  baselines::TgrlLikeConfig tgrl_cfg;
+  tgrl_cfg.n_patterns = scale.ref_patterns;
+  tgrl_cfg.mutation_rounds = scale.tgrl_rounds;
+  const auto tgrl = baselines::run_tgrl_like(comb, det.rare_nets(), scoap, tgrl_cfg, rng);
+
+  const auto cov_det = trojan::evaluate_coverage(comb, prep.trojans, det_patterns);
+  const auto cov_tgrl = trojan::evaluate_coverage(comb, prep.trojans, tgrl.patterns);
+
+  util::Table table({"# patterns", "DETERRENT cov (%)", "TGRL cov (%)"});
+  const std::size_t max_n =
+      std::max(det_patterns.pattern_count(), tgrl.patterns.pattern_count());
+  for (std::size_t checkpoint = 1; checkpoint <= max_n; checkpoint *= 2) {
+    table.add_row({std::to_string(checkpoint),
+                   fmt(cov_det.coverage_percent_at(checkpoint), 1),
+                   fmt(cov_tgrl.coverage_percent_at(checkpoint), 1)});
+  }
+  table.add_row({"all", fmt(cov_det.coverage_percent(), 1),
+                 fmt(cov_tgrl.coverage_percent(), 1)});
+  table.print();
+  std::printf("(DETERRENT emits %zu patterns total; TGRL %zu)\n\n",
+              det_patterns.pattern_count(), tgrl.patterns.pattern_count());
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale = scale_from_env();
+  print_header("Figure 6 — coverage vs #patterns (c2670_like, c6288_like)", scale);
+  run_design("c2670_like", scale);
+  run_design("c6288_like", scale);
+  std::printf(
+      "paper (Fig. 6): DETERRENT's curve saturates within tens of patterns; "
+      "TGRL climbs slowly across\nthousands. Expected shape: at every "
+      "checkpoint the DETERRENT column leads, and it plateaus early.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Micro-benchmarks: PPO environment stepping and update rates on the
+// compatible-set MDP — the steps/min currency of Table 1 and Figure 2.
+#include <benchmark/benchmark.h>
+
+#include "analysis/compatibility.hpp"
+#include "bench_gen/library.hpp"
+#include "core/compatible_set_env.hpp"
+#include "core/deterrent.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace deterrent;
+
+namespace {
+
+struct EnvFixture {
+  bench_gen::Benchmark bench;
+  std::vector<analysis::RareNet> rare;
+  analysis::CompatibilityMatrix matrix;
+
+  explicit EnvFixture(const std::string& name)
+      : bench(bench_gen::load_benchmark(name)) {
+    util::Rng rng(1);
+    util::ThreadPool pool;
+    rare = analysis::find_rare_nets(bench.scan.comb, {}, rng, &pool);
+    matrix = analysis::build_compatibility(bench.scan.comb, rare, {}, rng, &pool);
+  }
+};
+
+void BM_EnvEpisode(benchmark::State& state, const std::string& name,
+                   core::RewardMode reward) {
+  EnvFixture fx(name);
+  core::EnvConfig cfg;
+  cfg.reward_mode = reward;
+  core::CompatibleSetEnv env(fx.bench.scan.comb, fx.rare, fx.matrix, cfg, nullptr);
+  util::Rng rng(3);
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    env.reset(rng);
+    while (true) {
+      const auto& mask = env.action_mask();
+      if (mask.none()) break;
+      ++steps;
+      if (env.step(static_cast<std::uint32_t>(mask.find_first())).done) break;
+    }
+  }
+  state.counters["steps/s"] = benchmark::Counter(static_cast<double>(steps),
+                                                 benchmark::Counter::kIsRate);
+}
+
+void BM_PpoUpdate(benchmark::State& state, const std::string& name) {
+  EnvFixture fx(name);
+  core::EnvConfig env_cfg;
+  env_cfg.reward_mode = core::RewardMode::EndOfEpisode;
+  core::DistinctSetPool pool;
+  auto factory = [&](std::size_t) -> std::unique_ptr<rl::Env> {
+    return std::make_unique<core::CompatibleSetEnv>(fx.bench.scan.comb, fx.rare,
+                                                    fx.matrix, env_cfg, &pool);
+  };
+  rl::PpoConfig ppo = core::DeterrentConfig::boosted_ppo_defaults();
+  ppo.episodes_per_update = 8;
+  rl::PpoTrainer trainer(factory, ppo, 7);
+  for (auto _ : state) benchmark::DoNotOptimize(trainer.update().steps);
+  state.counters["env_steps/s"] = benchmark::Counter(
+      static_cast<double>(trainer.total_steps()), benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_EnvEpisode, c2670_allsteps, "c2670_like",
+                  core::RewardMode::AllSteps)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EnvEpisode, c2670_eoe, "c2670_like",
+                  core::RewardMode::EndOfEpisode)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_EnvEpisode, mips16_eoe, "mips16_like",
+                  core::RewardMode::EndOfEpisode)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_PpoUpdate, c2670_like, "c2670_like")
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

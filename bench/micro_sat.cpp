@@ -1,0 +1,80 @@
+// Micro-benchmarks: incremental SAT oracle throughput on netlist CNFs.
+//
+// Backs §3.3/§5 — the offline pairwise phase and the per-step compatibility
+// checks issue tens of thousands of assumption-based queries against one
+// solver instance; queries/sec is the figure of merit.
+#include <benchmark/benchmark.h>
+
+#include "analysis/rare_nets.hpp"
+#include "bench_gen/library.hpp"
+#include "sat/oracle.hpp"
+#include "util/rng.hpp"
+
+using namespace deterrent;
+
+namespace {
+
+struct OracleFixture {
+  bench_gen::Benchmark bench;
+  std::vector<analysis::RareNet> rare;
+
+  explicit OracleFixture(const std::string& name)
+      : bench(bench_gen::load_benchmark(name)) {
+    util::Rng rng(1);
+    rare = analysis::find_rare_nets(bench.scan.comb, {}, rng);
+  }
+};
+
+void BM_PairQuery(benchmark::State& state, const std::string& name) {
+  OracleFixture fx(name);
+  if (fx.rare.size() < 2) {
+    state.SkipWithError("too few rare nets");
+    return;
+  }
+  sat::NetlistOracle oracle(fx.bench.scan.comb);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    const auto i = rng.below(fx.rare.size());
+    auto j = rng.below(fx.rare.size());
+    if (j == i) j = (j + 1) % fx.rare.size();
+    const sat::Constraint cs[2] = {{fx.rare[i].net, fx.rare[i].rare_value},
+                                   {fx.rare[j].net, fx.rare[j].rare_value}};
+    benchmark::DoNotOptimize(oracle.satisfiable(cs));
+  }
+  state.counters["queries/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+void BM_PatternExtraction(benchmark::State& state, const std::string& name) {
+  OracleFixture fx(name);
+  const auto width = static_cast<std::size_t>(state.range(0));
+  if (fx.rare.size() < width) {
+    state.SkipWithError("too few rare nets");
+    return;
+  }
+  sat::NetlistOracle oracle(fx.bench.scan.comb);
+  util::Rng rng(5);
+  std::vector<sat::Constraint> cs(width);
+  for (auto _ : state) {
+    const auto idx =
+        rng.sample_indices(static_cast<std::uint32_t>(fx.rare.size()),
+                           static_cast<std::uint32_t>(width));
+    for (std::size_t k = 0; k < width; ++k)
+      cs[k] = {fx.rare[idx[k]].net, fx.rare[idx[k]].rare_value};
+    benchmark::DoNotOptimize(oracle.find_pattern(cs).has_value());
+  }
+  state.counters["patterns/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_PairQuery, c2670_like, "c2670_like");
+BENCHMARK_CAPTURE(BM_PairQuery, c6288_like, "c6288_like");
+BENCHMARK_CAPTURE(BM_PairQuery, mips16_like, "mips16_like");
+BENCHMARK_CAPTURE(BM_PatternExtraction, c6288_like, "c6288_like")->Arg(4)->Arg(12);
+BENCHMARK_CAPTURE(BM_PatternExtraction, mips16_like, "mips16_like")->Arg(4);
+
+BENCHMARK_MAIN();

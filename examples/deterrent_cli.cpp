@@ -1,0 +1,194 @@
+// deterrent_cli — command-line front-end to the full pipeline.
+//
+//   deterrent_cli analyze  <bench|name>                      rare-net census
+//   deterrent_cli generate <bench|name> -o patterns.txt      DETERRENT patterns
+//   deterrent_cli evaluate <bench|name> -p patterns.txt      coverage vs random HTs
+//   deterrent_cli export   <name> -o design.bench            write a built-in profile
+//
+// <bench|name> is either a built-in profile (c2670_like, …, mips16_like) or a
+// path to an ISCAS `.bench` file. Common flags:
+//   --threshold <θ>   rareness threshold          (default 0.1)
+//   --updates <n>     PPO updates                 (default 30)
+//   --k <n>           patterns to extract         (default 64)
+//   --width <w>       trigger width for evaluate  (default 4)
+//   --trojans <n>     HT population for evaluate  (default 100)
+//   --seed <s>        master seed                 (default 1)
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bench_gen/library.hpp"
+#include "core/deterrent.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/stats.hpp"
+#include "sim/pattern_io.hpp"
+#include "trojan/coverage.hpp"
+#include "trojan/trojan.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace deterrent;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string target;
+  std::map<std::string, std::string> flags;
+
+  double threshold() const { return flag_double("--threshold", 0.1); }
+  std::size_t updates() const { return flag_size("--updates", 30); }
+  std::size_t k() const { return flag_size("--k", 64); }
+  unsigned width() const { return static_cast<unsigned>(flag_size("--width", 4)); }
+  std::size_t trojans() const { return flag_size("--trojans", 100); }
+  std::uint64_t seed() const { return flag_size("--seed", 1); }
+  std::string out() const { return flag_string("-o", ""); }
+  std::string patterns() const { return flag_string("-p", ""); }
+
+  double flag_double(const char* name, double fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  std::size_t flag_size(const char* name, std::size_t fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : static_cast<std::size_t>(std::stoull(it->second));
+  }
+  std::string flag_string(const char* name, std::string fallback) const {
+    const auto it = flags.find(name);
+    return it == flags.end() ? fallback : it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  if (argc >= 3 && argv[2][0] != '-') args.target = argv[2];
+  for (int i = 3; i + 1 < argc + 1; ++i) {
+    if (i < argc && argv[i][0] == '-' && i + 1 < argc) {
+      args.flags[argv[i]] = argv[i + 1];
+      ++i;
+    }
+  }
+  return args;
+}
+
+bench_gen::Benchmark load_target(const std::string& target) {
+  if (target.find(".bench") != std::string::npos)
+    return bench_gen::load_benchmark_file(target);
+  return bench_gen::load_benchmark(target);
+}
+
+int cmd_analyze(const Args& args) {
+  auto bench = load_target(args.target);
+  const auto stats = netlist::compute_stats(bench.scan.comb);
+  std::printf("%s: %s\n", bench.name.c_str(), stats.to_string().c_str());
+
+  util::Rng rng(args.seed());
+  util::ThreadPool pool;
+  analysis::RareNetConfig cfg;
+  cfg.threshold = args.threshold();
+  const auto rare = analysis::find_rare_nets(bench.scan.comb, cfg, rng, &pool);
+  std::printf("rare nets at threshold %.3f: %zu\n\n", cfg.threshold, rare.size());
+
+  util::Table table({"Net", "Rare value", "P(rare value)"});
+  std::size_t shown = 0;
+  for (const auto& rn : rare) {
+    if (shown++ >= 20) break;
+    const std::string& name = bench.scan.comb.name(rn.net);
+    table.add_row({name.empty() ? "n" + std::to_string(rn.net) : name,
+                   rn.rare_value ? "1" : "0", util::Table::num(rn.probability, 5)});
+  }
+  table.print();
+  if (rare.size() > 20) std::printf("... and %zu more\n", rare.size() - 20);
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  auto bench = load_target(args.target);
+  core::DeterrentConfig cfg;
+  cfg.rare.threshold = args.threshold();
+  cfg.updates = args.updates();
+  cfg.k_patterns = args.k();
+  cfg.seed = args.seed();
+  cfg.env.reward_mode = core::RewardMode::EndOfEpisode;
+  cfg.ppo.n_workers = 8;
+
+  core::Deterrent det(bench.scan.comb, cfg);
+  det.prepare();
+  std::printf("offline: %zu rare nets, %zu compatible pairs\n",
+              det.rare_nets().size(), det.matrix().edge_count());
+  det.train();
+  std::printf("training: %zu distinct sets, largest %zu\n", det.pool().size(),
+              det.pool().max_set_size());
+  const auto patterns = det.extract_patterns();
+  std::printf("extracted %zu patterns\n", patterns.pattern_count());
+
+  const std::string out = args.out().empty() ? bench.name + ".patterns" : args.out();
+  sim::write_patterns_file(patterns, out);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  auto bench = load_target(args.target);
+  if (args.patterns().empty()) {
+    std::fprintf(stderr, "evaluate requires -p <patterns.txt>\n");
+    return 2;
+  }
+  const auto patterns = sim::read_patterns_file(args.patterns());
+  if (patterns.input_count() != bench.scan.comb.inputs().size()) {
+    std::fprintf(stderr, "pattern width %zu does not match design inputs %zu\n",
+                 patterns.input_count(), bench.scan.comb.inputs().size());
+    return 2;
+  }
+
+  util::Rng rng(args.seed());
+  util::ThreadPool pool;
+  analysis::RareNetConfig rcfg;
+  rcfg.threshold = args.threshold();
+  const auto rare = analysis::find_rare_nets(bench.scan.comb, rcfg, rng, &pool);
+  sat::NetlistOracle oracle(bench.scan.comb);
+  trojan::TrojanSampleConfig tcfg;
+  tcfg.width = args.width();
+  tcfg.count = args.trojans();
+  const auto trojans = trojan::sample_trojans(bench.scan.comb, rare, tcfg, oracle, rng);
+
+  const auto result = trojan::evaluate_coverage(bench.scan.comb, trojans, patterns);
+  std::printf("%zu patterns vs %zu width-%u Trojans: %.1f%% trigger coverage\n",
+              patterns.pattern_count(), trojans.size(), args.width(),
+              result.coverage_percent());
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  auto bench = load_target(args.target);
+  const std::string out = args.out().empty() ? bench.name + ".bench" : args.out();
+  netlist::write_bench_file(bench.original, out);
+  std::printf("wrote %s (%zu gates, %zu FFs)\n", out.c_str(),
+              bench.original.gate_count(), bench.original.dffs().size());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: deterrent_cli <analyze|generate|evaluate|export> "
+               "<bench|name> [flags]\n  (see header comment for flags)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.command == "analyze" && !args.target.empty()) return cmd_analyze(args);
+    if (args.command == "generate" && !args.target.empty()) return cmd_generate(args);
+    if (args.command == "evaluate" && !args.target.empty()) return cmd_evaluate(args);
+    if (args.command == "export" && !args.target.empty()) return cmd_export(args);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}

@@ -1,0 +1,145 @@
+#include "analysis/compatibility.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace deterrent::analysis {
+
+CompatibilityMatrix::CompatibilityMatrix(std::size_t n) {
+  rows_.assign(n, util::BitVec(n));
+}
+
+void CompatibilityMatrix::set(std::uint32_t i, std::uint32_t j, bool value) {
+  rows_[i].set(j, value);
+  rows_[j].set(i, value);
+}
+
+std::size_t CompatibilityMatrix::edge_count() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    total += rows_[i].count();
+    if (rows_[i].test(i)) --total;  // don't count the diagonal
+  }
+  return total / 2;
+}
+
+double CompatibilityMatrix::average_degree() const {
+  if (rows_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(edge_count()) / static_cast<double>(rows_.size());
+}
+
+std::vector<util::BitVec> rare_activation_signatures(
+    const netlist::Netlist& netlist, std::span<const RareNet> rare_nets,
+    std::size_t pattern_count, util::Rng& rng) {
+  std::vector<util::BitVec> signatures(rare_nets.size(), util::BitVec(pattern_count));
+  sim::Simulator simulator(netlist);
+  const auto patterns =
+      sim::PatternSet::random(netlist.inputs().size(), pattern_count, rng);
+  simulator.simulate(patterns, [&](std::size_t block, std::uint64_t valid_mask,
+                                   std::span<const std::uint64_t> values) {
+    for (std::size_t r = 0; r < rare_nets.size(); ++r) {
+      const auto& rn = rare_nets[r];
+      std::uint64_t at_rare = values[rn.net];
+      if (!rn.rare_value) at_rare = ~at_rare;
+      at_rare &= valid_mask;
+      if (at_rare == 0) continue;
+      for (std::uint64_t bits = at_rare; bits;) {
+        const int lane = std::countr_zero(bits);
+        bits &= bits - 1;
+        signatures[r].set(block * 64 + static_cast<std::size_t>(lane));
+      }
+    }
+  });
+  return signatures;
+}
+
+CompatibilityMatrix build_compatibility(const netlist::Netlist& netlist,
+                                        std::span<const RareNet> rare_nets,
+                                        const CompatibilityBuildConfig& config,
+                                        util::Rng& rng, util::ThreadPool* pool,
+                                        CompatibilityBuildStats* stats) {
+  util::Stopwatch watch;
+  const std::size_t n = rare_nets.size();
+  CompatibilityMatrix matrix(n);
+  CompatibilityBuildStats local_stats;
+  local_stats.pair_count = n * (n + 1) / 2;
+
+  // Phase 1 — simulation pre-filter: co-occurrence is a satisfiability witness.
+  const auto signatures =
+      rare_activation_signatures(netlist, rare_nets, config.sim_patterns, rng);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> unresolved;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i; j < n; ++j) {
+      if (i == j ? signatures[i].any() : signatures[i].intersects(signatures[j])) {
+        matrix.set(i, j);
+        ++local_stats.sim_resolved;
+      } else {
+        unresolved.emplace_back(i, j);
+      }
+    }
+  }
+
+  // Phase 2 — SAT decides the pairs simulation never witnessed. One oracle
+  // per worker; learnt clauses amortize across that worker's share.
+  std::atomic<std::size_t> sat_sat{0};
+  std::atomic<std::size_t> sat_unsat{0};
+  std::atomic<std::size_t> timeouts{0};
+  std::mutex matrix_mutex;
+
+  auto solve_range = [&](std::size_t begin, std::size_t end) {
+    sat::NetlistOracle oracle(netlist);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> found;
+    for (std::size_t k = begin; k < end; ++k) {
+      const auto [i, j] = unresolved[k];
+      sat::Constraint constraints[2] = {
+          {rare_nets[i].net, rare_nets[i].rare_value},
+          {rare_nets[j].net, rare_nets[j].rare_value},
+      };
+      const std::size_t arity = (i == j) ? 1 : 2;
+      const auto result = oracle.try_satisfiable({constraints, arity},
+                                                 config.sat_conflict_budget);
+      if (!result.has_value()) {
+        ++timeouts;
+      } else if (*result) {
+        ++sat_sat;
+        found.emplace_back(i, j);
+      } else {
+        ++sat_unsat;
+      }
+    }
+    if (!found.empty()) {
+      std::lock_guard lock(matrix_mutex);
+      for (const auto& [i, j] : found) matrix.set(i, j);
+    }
+  };
+
+  if (pool != nullptr && pool->thread_count() > 1 && unresolved.size() > 64) {
+    pool->parallel_chunks(unresolved.size(),
+                          [&](std::size_t /*thread*/, std::size_t begin,
+                              std::size_t end) { solve_range(begin, end); });
+  } else {
+    solve_range(0, unresolved.size());
+  }
+  local_stats.sat_sat = sat_sat.load();
+  local_stats.sat_unsat = sat_unsat.load();
+  local_stats.timeout_pairs = timeouts.load();
+
+  // A rare net whose singleton is unsatisfiable can never participate in a
+  // trigger: clear its whole row so masks and cliques ignore it.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!matrix.singleton_satisfiable(i)) {
+      ++local_stats.unsat_singletons;
+      for (std::uint32_t j = 0; j < n; ++j) matrix.set(i, j, false);
+    }
+  }
+
+  local_stats.build_seconds = watch.elapsed_seconds();
+  if (stats != nullptr) *stats = local_stats;
+  return matrix;
+}
+
+}  // namespace deterrent::analysis

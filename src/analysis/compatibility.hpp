@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/rare_nets.hpp"
+#include "netlist/netlist.hpp"
+#include "sat/oracle.hpp"
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace deterrent::analysis {
+
+/// Symmetric pairwise-compatibility relation over the rare nets: bit (i, j)
+/// is set when one input pattern can drive rare nets i and j to their rare
+/// values simultaneously. The diagonal bit records whether the singleton is
+/// satisfiable at all.
+///
+/// This is the "compatibility info" of the paper's offline phase (Figure 4),
+/// used both for action masking in the RL agent (§3.3) and as the sampling
+/// graph of the TARMAC baseline.
+class CompatibilityMatrix {
+ public:
+  CompatibilityMatrix() = default;
+  explicit CompatibilityMatrix(std::size_t n);
+
+  std::size_t size() const { return rows_.size(); }
+
+  bool compatible(std::uint32_t i, std::uint32_t j) const {
+    return rows_[i].test(j);
+  }
+  bool singleton_satisfiable(std::uint32_t i) const { return rows_[i].test(i); }
+
+  /// Row i as a bitset over rare-net indices (includes the diagonal bit).
+  const util::BitVec& row(std::uint32_t i) const { return rows_[i]; }
+
+  void set(std::uint32_t i, std::uint32_t j, bool value = true);
+
+  /// Number of compatible unordered pairs (i < j).
+  std::size_t edge_count() const;
+
+  /// Mean degree (compatible partners per rare net), excluding the diagonal.
+  double average_degree() const;
+
+ private:
+  std::vector<util::BitVec> rows_;
+};
+
+struct CompatibilityBuildConfig {
+  /// Random patterns for the co-occurrence pre-filter. A pair witnessed
+  /// together in simulation is proven compatible without any SAT call.
+  std::size_t sim_patterns = 1 << 14;
+  /// Conflict budget per SAT pair query; exhausted budget conservatively
+  /// reports "incompatible" (counted in timeout_pairs).
+  std::int64_t sat_conflict_budget = 50000;
+};
+
+struct CompatibilityBuildStats {
+  std::size_t pair_count = 0;          ///< unordered pairs examined
+  std::size_t sim_resolved = 0;        ///< proven compatible by co-occurrence
+  std::size_t sat_sat = 0;             ///< proven compatible by SAT
+  std::size_t sat_unsat = 0;           ///< proven incompatible by SAT
+  std::size_t timeout_pairs = 0;       ///< budget exhausted (treated incompatible)
+  std::size_t unsat_singletons = 0;    ///< rare nets with no satisfying pattern
+  double build_seconds = 0.0;
+};
+
+/// Builds the pairwise matrix. Parallelized across `pool` with one SAT oracle
+/// per worker, mirroring the paper's 64-process offline computation (§3.3).
+/// Deterministic for fixed rng seed regardless of thread count.
+CompatibilityMatrix build_compatibility(const netlist::Netlist& netlist,
+                                        std::span<const RareNet> rare_nets,
+                                        const CompatibilityBuildConfig& config,
+                                        util::Rng& rng, util::ThreadPool* pool = nullptr,
+                                        CompatibilityBuildStats* stats = nullptr);
+
+/// Per-rare-net activation signatures under `pattern_count` random patterns:
+/// bit p of signature i is set when pattern p drives rare net i to its rare
+/// value. Shared by the matrix builder and by MERO-style counting.
+std::vector<util::BitVec> rare_activation_signatures(
+    const netlist::Netlist& netlist, std::span<const RareNet> rare_nets,
+    std::size_t pattern_count, util::Rng& rng);
+
+}  // namespace deterrent::analysis

@@ -1,0 +1,41 @@
+#include "analysis/rare_nets.hpp"
+
+namespace deterrent::analysis {
+
+using netlist::GateType;
+using netlist::NetId;
+
+std::vector<RareNet> find_rare_nets(const netlist::Netlist& netlist,
+                                    const sim::SignalStats& stats,
+                                    const RareNetConfig& config) {
+  std::vector<RareNet> rare;
+  for (NetId id = 0; id < netlist.net_count(); ++id) {
+    if (config.exclude_inputs && netlist.type(id) == GateType::Input) continue;
+    if (netlist.type(id) == GateType::Const0 || netlist.type(id) == GateType::Const1)
+      continue;
+    const double p1 = stats.prob_one(id);
+    // The rare value is the one the net (almost) never takes.
+    double p_rare;
+    bool rare_value;
+    if (p1 <= 0.5) {
+      p_rare = p1;
+      rare_value = true;
+    } else {
+      p_rare = 1.0 - p1;
+      rare_value = false;
+    }
+    if (p_rare >= config.threshold) continue;
+    if (config.exclude_untoggled && p_rare == 0.0) continue;
+    rare.push_back({id, rare_value, p_rare});
+  }
+  return rare;
+}
+
+std::vector<RareNet> find_rare_nets(const netlist::Netlist& netlist,
+                                    const RareNetConfig& config, util::Rng& rng,
+                                    util::ThreadPool* pool) {
+  const auto stats = sim::estimate_signal_stats(netlist, config.sim_patterns, rng, pool);
+  return find_rare_nets(netlist, stats, config);
+}
+
+}  // namespace deterrent::analysis

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/probability.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace deterrent::analysis {
+
+/// A net whose logic value is strongly biased: it takes `rare_value` with
+/// probability `probability` <= the rareness threshold. These are the nets an
+/// adversary taps to build a stealthy trigger (§1.1) and the action space of
+/// the DETERRENT agent (§3.1).
+struct RareNet {
+  netlist::NetId net = 0;
+  bool rare_value = false;
+  double probability = 0.0;  ///< estimated P(net == rare_value)
+
+  bool operator==(const RareNet&) const = default;
+};
+
+struct RareNetConfig {
+  /// Nets with P(rare value) < threshold are classified rare. The paper's
+  /// default is 0.1; Figure 7 sweeps 0.10–0.14.
+  double threshold = 0.1;
+  /// Random patterns for probability estimation (step ❶ in Figure 4).
+  std::size_t sim_patterns = 1 << 16;
+  /// Drop nets that never toggled in simulation (structurally constant nets
+  /// produce unsatisfiable singleton triggers and pollute the action space).
+  bool exclude_untoggled = true;
+  /// Primary inputs are uniform by construction and never meaningful triggers.
+  bool exclude_inputs = true;
+};
+
+/// Classifies rare nets from precomputed signal statistics.
+std::vector<RareNet> find_rare_nets(const netlist::Netlist& netlist,
+                                    const sim::SignalStats& stats,
+                                    const RareNetConfig& config = {});
+
+/// Convenience: estimate probabilities with `config.sim_patterns` random
+/// patterns, then classify. Deterministic for a fixed rng seed.
+std::vector<RareNet> find_rare_nets(const netlist::Netlist& netlist,
+                                    const RareNetConfig& config, util::Rng& rng,
+                                    util::ThreadPool* pool = nullptr);
+
+}  // namespace deterrent::analysis

@@ -1,0 +1,184 @@
+#include "analysis/scoap.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace deterrent::analysis {
+
+using netlist::GateType;
+using netlist::NetId;
+
+namespace {
+
+constexpr std::uint32_t kInf = ScoapValues::kInfinity;
+
+std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) {
+  return std::min<std::uint64_t>(kInf, std::uint64_t{a} + b);
+}
+
+}  // namespace
+
+ScoapValues compute_scoap(const netlist::Netlist& nl) {
+  if (nl.is_sequential())
+    throw Error("compute_scoap requires a combinational netlist (use make_full_scan)");
+
+  ScoapValues v;
+  v.cc0.assign(nl.net_count(), kInf);
+  v.cc1.assign(nl.net_count(), kInf);
+  v.co.assign(nl.net_count(), kInf);
+
+  // Forward pass: controllability in topological order.
+  for (const NetId id : nl.topo_order()) {
+    const auto fanins = nl.fanins(id);
+    switch (nl.type(id)) {
+      case GateType::Input:
+        v.cc0[id] = 1;
+        v.cc1[id] = 1;
+        break;
+      case GateType::Const0:
+        v.cc0[id] = 0;
+        v.cc1[id] = kInf;  // cannot be driven to 1
+        break;
+      case GateType::Const1:
+        v.cc0[id] = kInf;
+        v.cc1[id] = 0;
+        break;
+      case GateType::Buf:
+        v.cc0[id] = sat_add(v.cc0[fanins[0]], 1);
+        v.cc1[id] = sat_add(v.cc1[fanins[0]], 1);
+        break;
+      case GateType::Not:
+        v.cc0[id] = sat_add(v.cc1[fanins[0]], 1);
+        v.cc1[id] = sat_add(v.cc0[fanins[0]], 1);
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        std::uint32_t all_ones = 0;   // cost of driving every input to 1
+        std::uint32_t min_zero = kInf;  // cheapest single input at 0
+        for (const NetId f : fanins) {
+          all_ones = sat_add(all_ones, v.cc1[f]);
+          min_zero = std::min(min_zero, v.cc0[f]);
+        }
+        const std::uint32_t out1 = sat_add(all_ones, 1);
+        const std::uint32_t out0 = sat_add(min_zero, 1);
+        if (nl.type(id) == GateType::And) {
+          v.cc1[id] = out1;
+          v.cc0[id] = out0;
+        } else {
+          v.cc1[id] = out0;
+          v.cc0[id] = out1;
+        }
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        std::uint32_t all_zeros = 0;
+        std::uint32_t min_one = kInf;
+        for (const NetId f : fanins) {
+          all_zeros = sat_add(all_zeros, v.cc0[f]);
+          min_one = std::min(min_one, v.cc1[f]);
+        }
+        const std::uint32_t out0 = sat_add(all_zeros, 1);
+        const std::uint32_t out1 = sat_add(min_one, 1);
+        if (nl.type(id) == GateType::Or) {
+          v.cc0[id] = out0;
+          v.cc1[id] = out1;
+        } else {
+          v.cc0[id] = out1;
+          v.cc1[id] = out0;
+        }
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        // Fold pairwise: cost(parity == b) over the fanin prefix.
+        std::uint32_t even = v.cc0[fanins[0]];  // parity 0 so far
+        std::uint32_t odd = v.cc1[fanins[0]];
+        for (std::size_t k = 1; k < fanins.size(); ++k) {
+          const std::uint32_t f0 = v.cc0[fanins[k]];
+          const std::uint32_t f1 = v.cc1[fanins[k]];
+          const std::uint32_t new_even =
+              std::min(sat_add(even, f0), sat_add(odd, f1));
+          const std::uint32_t new_odd =
+              std::min(sat_add(even, f1), sat_add(odd, f0));
+          even = new_even;
+          odd = new_odd;
+        }
+        const std::uint32_t out0 = sat_add(even, 1);
+        const std::uint32_t out1 = sat_add(odd, 1);
+        if (nl.type(id) == GateType::Xor) {
+          v.cc0[id] = out0;
+          v.cc1[id] = out1;
+        } else {
+          v.cc0[id] = out1;
+          v.cc1[id] = out0;
+        }
+        break;
+      }
+      case GateType::Dff:
+        DETERRENT_ASSERT(false, "unreachable: sequential rejected above");
+    }
+  }
+
+  // Backward pass: observability in reverse topological order.
+  for (const NetId out : nl.outputs()) v.co[out] = 0;
+  const auto order = nl.topo_order();
+  for (std::size_t idx = order.size(); idx-- > 0;) {
+    const NetId id = order[idx];
+    if (v.co[id] == kInf) continue;  // unobservable net; nothing to propagate
+    const auto fanins = nl.fanins(id);
+    switch (nl.type(id)) {
+      case GateType::Input:
+      case GateType::Const0:
+      case GateType::Const1:
+        break;
+      case GateType::Buf:
+      case GateType::Not:
+        v.co[fanins[0]] = std::min(v.co[fanins[0]], sat_add(v.co[id], 1));
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        // To observe input i, hold every other input at its non-controlling 1.
+        for (std::size_t i = 0; i < fanins.size(); ++i) {
+          std::uint32_t side = 0;
+          for (std::size_t j = 0; j < fanins.size(); ++j)
+            if (j != i) side = sat_add(side, v.cc1[fanins[j]]);
+          const std::uint32_t cost = sat_add(sat_add(v.co[id], side), 1);
+          v.co[fanins[i]] = std::min(v.co[fanins[i]], cost);
+        }
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        for (std::size_t i = 0; i < fanins.size(); ++i) {
+          std::uint32_t side = 0;
+          for (std::size_t j = 0; j < fanins.size(); ++j)
+            if (j != i) side = sat_add(side, v.cc0[fanins[j]]);
+          const std::uint32_t cost = sat_add(sat_add(v.co[id], side), 1);
+          v.co[fanins[i]] = std::min(v.co[fanins[i]], cost);
+        }
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        // Any fixed assignment of the other inputs propagates; use the
+        // cheapest per-input controllability.
+        for (std::size_t i = 0; i < fanins.size(); ++i) {
+          std::uint32_t side = 0;
+          for (std::size_t j = 0; j < fanins.size(); ++j)
+            if (j != i)
+              side = sat_add(side, std::min(v.cc0[fanins[j]], v.cc1[fanins[j]]));
+          const std::uint32_t cost = sat_add(sat_add(v.co[id], side), 1);
+          v.co[fanins[i]] = std::min(v.co[fanins[i]], cost);
+        }
+        break;
+      }
+      case GateType::Dff:
+        DETERRENT_ASSERT(false, "unreachable");
+    }
+  }
+  return v;
+}
+
+}  // namespace deterrent::analysis

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace deterrent::analysis {
+
+/// SCOAP (Sandia Controllability/Observability Analysis Program) testability
+/// measures. CC0/CC1 estimate the effort to drive a net to 0/1; CO estimates
+/// the effort to observe it at an output. Values saturate at kInfinity.
+///
+/// The TGRL baseline (§1.3, [11]) rewards patterns by a combination of
+/// rareness and these testability measures; DETERRENT itself does not need
+/// them, which is one of the architectural differences §5 highlights.
+struct ScoapValues {
+  static constexpr std::uint32_t kInfinity = 0x3fffffffu;
+
+  std::vector<std::uint32_t> cc0;  ///< combinational 0-controllability per net
+  std::vector<std::uint32_t> cc1;  ///< combinational 1-controllability per net
+  std::vector<std::uint32_t> co;   ///< combinational observability per net
+
+  /// Controllability of a specific value.
+  std::uint32_t cc(netlist::NetId net, bool value) const {
+    return value ? cc1[net] : cc0[net];
+  }
+};
+
+/// Computes SCOAP measures on a combinational netlist (scan view for
+/// sequential designs). DFF-free requirement mirrors the simulator's.
+ScoapValues compute_scoap(const netlist::Netlist& netlist);
+
+}  // namespace deterrent::analysis

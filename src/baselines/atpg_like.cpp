@@ -1,0 +1,42 @@
+#include "baselines/atpg_like.hpp"
+
+#include "sat/oracle.hpp"
+#include "sim/simulator.hpp"
+
+namespace deterrent::baselines {
+
+AtpgLikeResult run_atpg_like(const netlist::Netlist& netlist,
+                             std::span<const analysis::RareNet> rare_nets,
+                             util::Rng& rng) {
+  AtpgLikeResult result;
+  result.patterns = sim::PatternSet(netlist.inputs().size());
+
+  sat::NetlistOracle oracle(netlist);
+  sim::Simulator simulator(netlist);
+  std::vector<bool> covered(rare_nets.size(), false);
+
+  for (std::size_t i = 0; i < rare_nets.size(); ++i) {
+    if (covered[i]) continue;
+    const sat::Constraint constraint{rare_nets[i].net, rare_nets[i].rare_value};
+    oracle.randomize_completion(rng);
+    const auto pattern = oracle.find_pattern({&constraint, 1});
+    if (!pattern.has_value()) {
+      covered[i] = true;  // structurally unexcitable; drop the fault
+      continue;
+    }
+    result.patterns.push(*pattern);
+
+    // Fault dropping: every rare net this pattern happens to excite needs no
+    // dedicated pattern of its own.
+    const auto values = simulator.simulate_pattern(*pattern);
+    for (std::size_t j = 0; j < rare_nets.size(); ++j)
+      if (!covered[j] && values[rare_nets[j].net] == rare_nets[j].rare_value)
+        covered[j] = true;
+  }
+
+  for (const bool c : covered)
+    if (c) ++result.excited_rare_nets;
+  return result;
+}
+
+}  // namespace deterrent::baselines

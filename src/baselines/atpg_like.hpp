@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+
+#include "analysis/rare_nets.hpp"
+#include "sim/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace deterrent::baselines {
+
+/// Stand-in for the Synopsys TestMAX ATPG baseline of Table 2.
+///
+/// Commercial ATPG targets stuck-at faults one net at a time: it excites each
+/// rare net individually and compacts patterns by fault dropping. That is
+/// exactly why it misses multi-net rare *conjunctions* — the failure mode the
+/// paper demonstrates (0–68% trigger coverage). This implementation mirrors
+/// the behaviour: one SAT-generated excitation pattern per still-uncovered
+/// rare net, random don't-care fill, greedy dropping of rare nets already
+/// excited by earlier patterns.
+struct AtpgLikeResult {
+  sim::PatternSet patterns;
+  std::size_t excited_rare_nets = 0;  ///< rare nets the set excites at least once
+};
+
+AtpgLikeResult run_atpg_like(const netlist::Netlist& netlist,
+                             std::span<const analysis::RareNet> rare_nets,
+                             util::Rng& rng);
+
+}  // namespace deterrent::baselines

@@ -1,0 +1,121 @@
+#include "baselines/mero.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/simulator.hpp"
+
+namespace deterrent::baselines {
+
+namespace {
+
+/// Rare nets a single pattern activates (index list), given net values.
+std::vector<std::uint32_t> activated_rare(const std::vector<bool>& values,
+                                          std::span<const analysis::RareNet> rare) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < rare.size(); ++i)
+    if (values[rare[i].net] == rare[i].rare_value) out.push_back(i);
+  return out;
+}
+
+}  // namespace
+
+MeroResult run_mero(const netlist::Netlist& netlist,
+                    std::span<const analysis::RareNet> rare_nets,
+                    const MeroConfig& config, util::Rng& rng) {
+  const std::size_t n_inputs = netlist.inputs().size();
+  const std::size_t n_rare = rare_nets.size();
+  sim::Simulator simulator(netlist);
+
+  MeroResult result;
+  result.patterns = sim::PatternSet(n_inputs);
+  result.activation_counts.assign(n_rare, 0);
+
+  // Step 1: random pool, ranked by how many rare nets each pattern activates.
+  const auto pool = sim::PatternSet::random(n_inputs, config.random_pool, rng);
+  std::vector<std::uint32_t> scores(config.random_pool, 0);
+  simulator.simulate(pool, [&](std::size_t block, std::uint64_t valid_mask,
+                               std::span<const std::uint64_t> values) {
+    for (const auto& rn : rare_nets) {
+      std::uint64_t hits = rn.rare_value ? values[rn.net] : ~values[rn.net];
+      hits &= valid_mask;
+      while (hits) {
+        const int lane = std::countr_zero(hits);
+        hits &= hits - 1;
+        ++scores[block * 64 + static_cast<std::size_t>(lane)];
+      }
+    }
+  });
+  std::vector<std::uint32_t> order(config.random_pool);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) { return scores[a] > scores[b]; });
+
+  // Gain of a candidate = number of still-under-detected rare nets it hits.
+  auto gain_of = [&](const std::vector<bool>& values) {
+    std::size_t gain = 0;
+    for (std::uint32_t i = 0; i < n_rare; ++i)
+      if (result.activation_counts[i] < config.n_detect &&
+          values[rare_nets[i].net] == rare_nets[i].rare_value)
+        ++gain;
+    return gain;
+  };
+
+  std::vector<std::uint64_t> mutant_words(n_inputs);
+  for (const std::uint32_t p : order) {
+    if (config.max_patterns != 0 && result.patterns.pattern_count() >= config.max_patterns)
+      break;
+
+    sim::Pattern current = pool.pattern(p);
+    std::size_t current_gain = gain_of(simulator.simulate_pattern(current));
+
+    // Step 2: greedy bit-flip ascent; evaluate 64 single-bit mutants per
+    // simulation pass (lane b = current with bit base+b flipped).
+    for (std::size_t round = 0; round < config.greedy_rounds; ++round) {
+      std::size_t best_bit = n_inputs;
+      std::size_t best_gain = current_gain;
+      for (std::size_t base = 0; base < n_inputs; base += 64) {
+        const std::size_t lanes = std::min<std::size_t>(64, n_inputs - base);
+        for (std::size_t i = 0; i < n_inputs; ++i)
+          mutant_words[i] = current.test(i) ? ~0ULL : 0ULL;
+        for (std::size_t lane = 0; lane < lanes; ++lane)
+          mutant_words[base + lane] ^= (1ULL << lane);
+
+        const auto values = simulator.simulate_block(mutant_words);
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          std::size_t gain = 0;
+          for (std::uint32_t i = 0; i < n_rare; ++i) {
+            if (result.activation_counts[i] >= config.n_detect) continue;
+            const bool v = (values[rare_nets[i].net] >> lane) & 1ULL;
+            if (v == rare_nets[i].rare_value) ++gain;
+          }
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_bit = base + lane;
+          }
+        }
+      }
+      if (best_bit == n_inputs) break;  // local optimum
+      current.set(best_bit, !current.test(best_bit));
+      current_gain = best_gain;
+    }
+
+    // Step 3: keep the pattern only if it advances N-detection.
+    if (current_gain == 0) continue;
+    const auto activated = activated_rare(simulator.simulate_pattern(current), rare_nets);
+    result.patterns.push(current);
+    for (const std::uint32_t i : activated) ++result.activation_counts[i];
+
+    const bool all_done = std::all_of(
+        result.activation_counts.begin(), result.activation_counts.end(),
+        [&](std::size_t c) { return c >= config.n_detect; });
+    if (all_done) break;
+  }
+
+  result.n_detect_satisfied = std::all_of(
+      result.activation_counts.begin(), result.activation_counts.end(),
+      [&](std::size_t c) { return c >= config.n_detect; });
+  return result;
+}
+
+}  // namespace deterrent::baselines

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <span>
+
+#include "analysis/rare_nets.hpp"
+#include "sim/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace deterrent::baselines {
+
+/// MERO (Chakraborty et al., CHES 2009) — the N-detect statistical baseline
+/// of §1.3: start from a random pattern pool, greedily mutate bits so that
+/// every rare net gets individually activated at least N times, keeping the
+/// patterns that contribute. Strong on small circuits, collapses on large
+/// ones (0.2% coverage on MIPS per [10]) because individual activation says
+/// nothing about joint activation.
+struct MeroConfig {
+  std::size_t random_pool = 2500;  ///< initial candidate pool size
+  unsigned n_detect = 5;           ///< target activations per rare net (N)
+  /// Greedy bit-flip improvement rounds per candidate; each round evaluates
+  /// all single-bit mutations bit-parallel and applies the best improving one.
+  std::size_t greedy_rounds = 4;
+  std::size_t max_patterns = 0;  ///< cap on emitted patterns (0 = none)
+};
+
+struct MeroResult {
+  sim::PatternSet patterns;
+  std::vector<std::size_t> activation_counts;  ///< per rare net, final tally
+  bool n_detect_satisfied = false;             ///< all rare nets reached N
+};
+
+MeroResult run_mero(const netlist::Netlist& netlist,
+                    std::span<const analysis::RareNet> rare_nets,
+                    const MeroConfig& config, util::Rng& rng);
+
+}  // namespace deterrent::baselines

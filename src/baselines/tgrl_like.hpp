@@ -1,0 +1,45 @@
+#pragma once
+
+#include <span>
+
+#include "analysis/rare_nets.hpp"
+#include "analysis/scoap.hpp"
+#include "sim/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace deterrent::baselines {
+
+/// TGRL-like baseline (Pan & Mishra, ASP-DAC 2021, §1.3).
+///
+/// TGRL trains an RL agent whose states/actions are test patterns mutated by
+/// probabilistic bit flips, rewarded by a combination of rareness and SCOAP
+/// testability of the activated rare nets. We reproduce that search behaviour
+/// with a stochastic hill climber over bit-flip mutations using the same
+/// reward: each emitted pattern is the best of `mutation_rounds` × 64
+/// probabilistic mutants under the rareness×testability objective, with
+/// diminishing weight on already-activated nets (which drives the pattern
+/// count up — ideal characteristic 3, the one TGRL violates).
+///
+/// Substitution note (DESIGN.md): the published TGRL network is a PyTorch
+/// policy over pattern bits; its essential behaviour for comparison purposes —
+/// pattern-space search guided by rareness+testability, one pattern per
+/// episode — is preserved here.
+struct TgrlLikeConfig {
+  std::size_t n_patterns = 1000;
+  std::size_t mutation_rounds = 6;  ///< 64 mutants are scored per round
+  double flip_probability = 1.0 / 16.0;
+  /// Relative weight of the SCOAP observability term against rareness.
+  double testability_weight = 0.3;
+};
+
+struct TgrlLikeResult {
+  sim::PatternSet patterns;
+  std::vector<double> pattern_scores;
+};
+
+TgrlLikeResult run_tgrl_like(const netlist::Netlist& netlist,
+                             std::span<const analysis::RareNet> rare_nets,
+                             const analysis::ScoapValues& scoap,
+                             const TgrlLikeConfig& config, util::Rng& rng);
+
+}  // namespace deterrent::baselines

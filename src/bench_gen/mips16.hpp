@@ -1,0 +1,29 @@
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace deterrent::bench_gen {
+
+/// Configuration of the MIPS16-like processor generator.
+struct Mips16Config {
+  bool include_multiplier = true;  ///< 16×16 array multiplier + HI/LO registers
+  bool include_shifter = true;     ///< bidirectional barrel shifter
+};
+
+/// Generates a structural single-cycle 16-bit MIPS-style processor netlist:
+/// 16×16-bit register file (R0 hardwired to zero), ripple-carry ALU
+/// (ADD/SUB/AND/OR/XOR/NOR/SLT), barrel shifter, 16×16 array multiplier with
+/// HI/LO registers, PC with branch/jump logic, and a memory interface.
+///
+/// This is the scalability substrate standing in for the OpenCores 16-bit
+/// MIPS the paper trains on (§4.1); see DESIGN.md §2. With all units enabled
+/// it synthesizes to several thousand cells and ~290 flip-flops; under full
+/// scan every architectural state bit becomes a pseudo primary input, giving
+/// the RL agent the same deep, rare-net-rich search space shape.
+///
+/// ISA sketch (4-bit opcode, 4-bit fields):  op rs rt rd/imm4
+///   0 ADD  1 SUB  2 AND  3 OR  4 XOR  5 NOR  6 SLT  7 SLL
+///   8 SRL  9 MUL  10 LW  11 SW  12 BEQ  13 ADDI  14 JMP  15 MFLO
+netlist::Netlist generate_mips16(const Mips16Config& config = {});
+
+}  // namespace deterrent::bench_gen

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace deterrent::bench_gen {
+
+/// Generates a combinational array multiplier: width×width → 2·width bits,
+/// built from AND partial products and a ripple carry-save array of half/full
+/// adders. width = 16 reproduces the *structure* of ISCAS-85 c6288 (a 16×16
+/// array multiplier, ≈2.4k cells) — the benchmark the paper uses for the
+/// trigger-width (Fig. 5), marginal-coverage (Fig. 6) and rareness-threshold
+/// (Fig. 7) studies. Deep carry chains give it the biased internal signals
+/// that make it rare-net rich.
+netlist::Netlist generate_array_multiplier(unsigned width);
+
+}  // namespace deterrent::bench_gen

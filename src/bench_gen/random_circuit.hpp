@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace deterrent::bench_gen {
+
+/// Parameters of the seeded random-DAG circuit generator used to synthesize
+/// ISCAS-profile stand-ins (see DESIGN.md §2 for the substitution rationale).
+/// Rare-net density is driven by the gate mix — AND/NOR-heavy mixes with
+/// occasional wide gates create deeply biased internal signals, matching the
+/// signal-probability landscape the paper's benchmarks exhibit.
+struct RandomCircuitProfile {
+  std::string name = "random";
+  std::size_t n_inputs = 64;
+  std::size_t n_outputs = 32;
+  std::size_t n_gates = 1000;  ///< combinational cells to create
+  std::size_t n_dffs = 0;      ///< flip-flops (sequential s-series profiles)
+  std::uint64_t seed = 1;
+
+  /// Gate-type weights (normalized internally).
+  double w_and = 0.26;
+  double w_nand = 0.16;
+  double w_or = 0.12;
+  double w_nor = 0.16;
+  double w_xor = 0.08;
+  double w_xnor = 0.04;
+  double w_not = 0.12;
+  double w_buf = 0.06;
+
+  /// Fraction of 2-input gates widened to 3–4 inputs (drives rarity).
+  double wide_gate_fraction = 0.10;
+  /// Fanin locality: with this probability a fanin comes from the most
+  /// recent `locality_window` nets (creates depth instead of a shallow mesh).
+  double locality_bias = 0.72;
+  std::size_t locality_window = 192;
+};
+
+/// Deterministically generates a connected random circuit for the profile.
+/// DFF data inputs are wired to late nets, Q outputs feed the logic like
+/// extra inputs — the classic sequential-benchmark shape; apply
+/// netlist::make_full_scan before analysis.
+netlist::Netlist generate_random_circuit(const RandomCircuitProfile& profile);
+
+}  // namespace deterrent::bench_gen

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cmath>
+#include <memory>
+
+#include "analysis/compatibility.hpp"
+#include "analysis/rare_nets.hpp"
+#include "core/set_pool.hpp"
+#include "rl/env.hpp"
+#include "sat/oracle.hpp"
+
+namespace deterrent::core {
+
+/// When the agent learns about compatibility (§3.2, Table 1).
+enum class RewardMode {
+  /// SAT-verify each chosen action against the current set and pay
+  /// |s_{t+1}|² immediately — the basic formulation of §3.1.
+  AllSteps,
+  /// Trust the pairwise mask during the episode and verify once at the end,
+  /// paying |longest satisfiable prefix|² as a terminal reward — the ≈86×
+  /// faster variant of §3.2.
+  EndOfEpisode,
+};
+
+/// Whether invalid actions are hidden from the agent (§3.3, Figure 2).
+enum class MaskMode {
+  /// Only actions pairwise-compatible with every member of the current set
+  /// (and not already members) are selectable.
+  Pairwise,
+  /// All non-member actions stay selectable; incompatible choices waste the
+  /// step (reward 0, state unchanged) — the inefficiency §3.3 eliminates.
+  None,
+};
+
+struct EnvConfig {
+  RewardMode reward_mode = RewardMode::AllSteps;
+  MaskMode mask_mode = MaskMode::Pairwise;
+  /// Episode step cap T. 0 ⇒ min(#rare nets, 128).
+  std::size_t max_steps = 0;
+  /// Conflict budget per SAT compatibility check (<0 = unlimited). Exhausted
+  /// budget counts as incompatible — conservative, never unsound.
+  std::int64_t sat_conflict_budget = 100000;
+  /// Reward = |s_{t+1}|^reward_exponent on compatible growth. The paper uses
+  /// 2 and notes any power > 1 works (the reward must be convex in |s| so
+  /// that harder-won late additions pay more); the ablation bench sweeps it.
+  double reward_exponent = 2.0;
+  /// EndOfEpisode only: after the longest-satisfiable-prefix search, retry at
+  /// most this many of the optimistically admitted members one by one
+  /// (greedy repair). SIZE_MAX = repair everything (quality-first, the
+  /// default); 0 = pure prefix truncation (the literal §3.2 scheme, cheapest).
+  std::size_t eoe_repair_budget = static_cast<std::size_t>(-1);
+};
+
+/// The DETERRENT Markov decision process (§3.1):
+///   state   — current set of compatible rare nets (observation: 0/1 vector)
+///   action  — index of a rare net to add
+///   reward  — |s_{t+1}|² when the addition keeps the set compatible, else 0
+///
+/// Each instance owns a private SAT oracle, so one env per rollout worker
+/// runs lock-free. Episode-final sets are reported to the shared
+/// DistinctSetPool (satisfiable prefix only, so every pooled set is realizable
+/// by a single test pattern).
+class CompatibleSetEnv final : public rl::Env {
+ public:
+  CompatibleSetEnv(const netlist::Netlist& netlist,
+                   std::span<const analysis::RareNet> rare_nets,
+                   const analysis::CompatibilityMatrix& matrix, const EnvConfig& config,
+                   DistinctSetPool* pool);
+
+  std::size_t observation_size() const override { return rare_nets_.size(); }
+  std::size_t action_count() const override { return rare_nets_.size(); }
+  std::vector<float> reset(util::Rng& rng) override;
+  rl::StepResult step(std::uint32_t action) override;
+  const util::BitVec& action_mask() const override { return mask_; }
+
+  /// Members of the current set in insertion order.
+  std::span<const std::uint32_t> members() const { return members_; }
+
+  /// Number of SAT queries issued so far (Table 1's cost driver).
+  std::uint64_t sat_queries() const { return oracle_.query_count(); }
+
+ private:
+  float size_reward(std::size_t set_size) const {
+    if (config_.reward_exponent == 2.0) {
+      const auto s = static_cast<float>(set_size);
+      return s * s;
+    }
+    return static_cast<float>(
+        std::pow(static_cast<double>(set_size), config_.reward_exponent));
+  }
+
+  bool joint_satisfiable_with(std::uint32_t action);
+  std::size_t longest_satisfiable_prefix();
+  void refresh_mask_after_add(std::uint32_t action);
+  std::vector<float> observation() const;
+  void finish_episode();
+
+  const netlist::Netlist* netlist_;
+  std::vector<analysis::RareNet> rare_nets_;
+  const analysis::CompatibilityMatrix* matrix_;
+  EnvConfig config_;
+  DistinctSetPool* pool_;
+  sat::NetlistOracle oracle_;
+
+  util::BitVec state_;                  // membership bitset
+  std::vector<std::uint32_t> members_;  // insertion order (for prefix search)
+  util::BitVec mask_;
+  std::size_t steps_ = 0;
+  std::size_t max_steps_ = 0;
+  bool episode_open_ = false;
+  std::vector<sat::Constraint> scratch_constraints_;
+};
+
+}  // namespace deterrent::core

@@ -1,0 +1,40 @@
+#include "core/set_pool.hpp"
+
+#include <algorithm>
+
+namespace deterrent::core {
+
+void DistinctSetPool::add(const util::BitVec& set) {
+  if (set.none()) return;
+  std::lock_guard lock(mutex_);
+  if (sets_.insert(set).second) max_size_ = std::max(max_size_, set.count());
+}
+
+std::size_t DistinctSetPool::size() const {
+  std::lock_guard lock(mutex_);
+  return sets_.size();
+}
+
+std::size_t DistinctSetPool::max_set_size() const {
+  std::lock_guard lock(mutex_);
+  return max_size_;
+}
+
+std::vector<util::BitVec> DistinctSetPool::k_largest(std::size_t k) const {
+  std::vector<util::BitVec> sorted = all();
+  std::sort(sorted.begin(), sorted.end(), [](const util::BitVec& a, const util::BitVec& b) {
+    const std::size_t ca = a.count();
+    const std::size_t cb = b.count();
+    if (ca != cb) return ca > cb;
+    return a.to_indices() < b.to_indices();  // deterministic tie-break
+  });
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+std::vector<util::BitVec> DistinctSetPool::all() const {
+  std::lock_guard lock(mutex_);
+  return {sets_.begin(), sets_.end()};
+}
+
+}  // namespace deterrent::core

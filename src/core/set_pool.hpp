@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace deterrent::core {
+
+/// Thread-safe collection of the distinct compatible-rare-net sets discovered
+/// across all training episodes. At the end of training DETERRENT picks the
+/// k largest distinct sets from this pool and converts each into one test
+/// pattern via SAT (§3.1, §3.5).
+class DistinctSetPool {
+ public:
+  /// Records a set (bitset over rare-net indices). Duplicates are ignored.
+  void add(const util::BitVec& set);
+
+  std::size_t size() const;
+
+  /// Largest member size seen so far — the "max # compatible rare nets"
+  /// metric of Table 1 / Figure 2.
+  std::size_t max_set_size() const;
+
+  /// The k largest distinct sets, by popcount descending (ties broken
+  /// deterministically by bit content). Returns fewer when the pool is small.
+  std::vector<util::BitVec> k_largest(std::size_t k) const;
+
+  /// All distinct sets, unordered.
+  std::vector<util::BitVec> all() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_set<util::BitVec, util::BitVecHash> sets_;
+  std::size_t max_size_ = 0;
+};
+
+}  // namespace deterrent::core

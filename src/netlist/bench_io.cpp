@@ -1,0 +1,218 @@
+#include "netlist/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace deterrent::netlist {
+
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& message) {
+  throw Error("bench parse error at line " + std::to_string(line_no) + ": " + message);
+}
+
+std::optional<GateType> cell_from_name(const std::string& word) {
+  const std::string w = upper(word);
+  if (w == "BUF" || w == "BUFF") return GateType::Buf;
+  if (w == "NOT" || w == "INV") return GateType::Not;
+  if (w == "AND") return GateType::And;
+  if (w == "NAND") return GateType::Nand;
+  if (w == "OR") return GateType::Or;
+  if (w == "NOR") return GateType::Nor;
+  if (w == "XOR") return GateType::Xor;
+  if (w == "XNOR") return GateType::Xnor;
+  if (w == "DFF") return GateType::Dff;
+  if (w == "CONST0" || w == "GND") return GateType::Const0;
+  if (w == "CONST1" || w == "VDD") return GateType::Const1;
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  Netlist parse(std::istream& in) {
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      line = strip(line);
+      if (line.empty()) continue;
+      parse_line(line, line_no);
+    }
+    for (NetId out : pending_outputs_) builder_.mark_output(out);
+    return builder_.build();
+  }
+
+ private:
+  void parse_line(const std::string& line, std::size_t line_no) {
+    auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      parse_io_decl(line, line_no);
+      return;
+    }
+    const std::string lhs = strip(line.substr(0, eq));
+    const std::string rhs = strip(line.substr(eq + 1));
+    if (lhs.empty()) parse_fail(line_no, "missing net name before '='");
+
+    auto open = rhs.find('(');
+    auto close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open)
+      parse_fail(line_no, "expected CELL(arg, ...) on right-hand side");
+
+    const std::string cell_name = strip(rhs.substr(0, open));
+    auto cell = cell_from_name(cell_name);
+    if (!cell) parse_fail(line_no, "unknown cell '" + cell_name + "'");
+
+    std::vector<NetId> fanins;
+    std::string args = rhs.substr(open + 1, close - open - 1);
+    std::stringstream ss(args);
+    std::string arg;
+    while (std::getline(ss, arg, ',')) {
+      arg = strip(arg);
+      if (arg.empty()) parse_fail(line_no, "empty argument in cell " + cell_name);
+      fanins.push_back(net_by_name(arg));
+    }
+
+    NetId net = net_by_name(lhs);
+    try {
+      if (*cell == GateType::Dff) {
+        if (fanins.size() != 1) parse_fail(line_no, "DFF takes exactly one argument");
+        builder_.define_dff(net, fanins[0]);
+      } else if (*cell == GateType::Const0 || *cell == GateType::Const1) {
+        if (!fanins.empty()) parse_fail(line_no, "constants take no arguments");
+        builder_.define_gate(net, *cell, {});
+      } else {
+        builder_.define_gate(net, *cell, std::move(fanins));
+      }
+    } catch (const Error& e) {
+      parse_fail(line_no, e.what());
+    }
+  }
+
+  void parse_io_decl(const std::string& line, std::size_t line_no) {
+    auto open = line.find('(');
+    auto close = line.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open)
+      parse_fail(line_no, "expected INPUT(name) or OUTPUT(name)");
+    const std::string kind = upper(strip(line.substr(0, open)));
+    const std::string net_name = strip(line.substr(open + 1, close - open - 1));
+    if (net_name.empty()) parse_fail(line_no, "empty net name in " + kind);
+    if (kind == "INPUT") {
+      NetId net = net_by_name(net_name);
+      try {
+        builder_.define_input(net);
+      } catch (const Error& e) {
+        parse_fail(line_no, e.what());
+      }
+    } else if (kind == "OUTPUT") {
+      pending_outputs_.push_back(net_by_name(net_name));
+    } else {
+      parse_fail(line_no, "unknown declaration '" + kind + "'");
+    }
+  }
+
+  NetId net_by_name(const std::string& net_name) {
+    auto it = by_name_.find(net_name);
+    if (it != by_name_.end()) return it->second;
+    NetId id = builder_.declare(net_name);
+    by_name_.emplace(net_name, id);
+    return id;
+  }
+
+  NetlistBuilder builder_;
+  std::unordered_map<std::string, NetId> by_name_;
+  std::vector<NetId> pending_outputs_;
+};
+
+std::string printable_name(const Netlist& netlist, NetId net) {
+  const std::string& given = netlist.name(net);
+  if (!given.empty()) return given;
+  return "n" + std::to_string(net);
+}
+
+std::string_view bench_cell_name(GateType type) {
+  switch (type) {
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Dff: return "DFF";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    default: DETERRENT_ASSERT(false, "no bench cell for this gate type");
+  }
+  return "";
+}
+
+}  // namespace
+
+Netlist read_bench(std::istream& in) { return Parser{}.parse(in); }
+
+Netlist read_bench_string(const std::string& text) {
+  std::istringstream iss(text);
+  return read_bench(iss);
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open bench file: " + path);
+  return read_bench(in);
+}
+
+void write_bench(const Netlist& netlist, std::ostream& out) {
+  out << "# written by deterrent\n";
+  for (NetId in_net : netlist.inputs())
+    out << "INPUT(" << printable_name(netlist, in_net) << ")\n";
+  for (NetId out_net : netlist.outputs())
+    out << "OUTPUT(" << printable_name(netlist, out_net) << ")\n";
+  for (NetId id = 0; id < netlist.net_count(); ++id) {
+    const GateType type = netlist.type(id);
+    if (type == GateType::Input) continue;
+    out << printable_name(netlist, id) << " = " << bench_cell_name(type) << "(";
+    bool first = true;
+    for (NetId f : netlist.fanins(id)) {
+      if (!first) out << ", ";
+      out << printable_name(netlist, f);
+      first = false;
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& netlist) {
+  std::ostringstream oss;
+  write_bench(netlist, oss);
+  return oss.str();
+}
+
+void write_bench_file(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open file for writing: " + path);
+  write_bench(netlist, out);
+}
+
+}  // namespace deterrent::netlist

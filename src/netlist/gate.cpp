@@ -1,0 +1,105 @@
+#include "netlist/gate.hpp"
+
+#include "util/assert.hpp"
+
+namespace deterrent::netlist {
+
+std::string_view to_string(GateType type) {
+  switch (type) {
+    case GateType::Input: return "INPUT";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Dff: return "DFF";
+  }
+  return "?";
+}
+
+FaninBounds fanin_bounds(GateType type) {
+  switch (type) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1: return {0, 0};
+    case GateType::Buf:
+    case GateType::Not:
+    case GateType::Dff: return {1, 1};
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor: return {1, 0};  // n-ary, unbounded
+  }
+  return {0, 0};
+}
+
+std::uint64_t eval_word(GateType type, std::span<const std::uint64_t> inputs) {
+  switch (type) {
+    case GateType::Const0: return 0ULL;
+    case GateType::Const1: return ~0ULL;
+    case GateType::Buf: return inputs[0];
+    case GateType::Not: return ~inputs[0];
+    case GateType::And:
+    case GateType::Nand: {
+      std::uint64_t acc = ~0ULL;
+      for (auto w : inputs) acc &= w;
+      return type == GateType::And ? acc : ~acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      std::uint64_t acc = 0ULL;
+      for (auto w : inputs) acc |= w;
+      return type == GateType::Or ? acc : ~acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      std::uint64_t acc = 0ULL;
+      for (auto w : inputs) acc ^= w;
+      return type == GateType::Xor ? acc : ~acc;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      DETERRENT_ASSERT(false, "Input/Dff nets are sources; they are not evaluated");
+  }
+  return 0;
+}
+
+bool eval_bool(GateType type, std::span<const bool> inputs) {
+  switch (type) {
+    case GateType::Const0: return false;
+    case GateType::Const1: return true;
+    case GateType::Buf: return inputs[0];
+    case GateType::Not: return !inputs[0];
+    case GateType::And:
+    case GateType::Nand: {
+      bool acc = true;
+      for (bool b : inputs) acc = acc && b;
+      return type == GateType::And ? acc : !acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      bool acc = false;
+      for (bool b : inputs) acc = acc || b;
+      return type == GateType::Or ? acc : !acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      bool acc = false;
+      for (bool b : inputs) acc = acc != b;
+      return type == GateType::Xor ? acc : !acc;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      DETERRENT_ASSERT(false, "Input/Dff nets are sources; they are not evaluated");
+  }
+  return false;
+}
+
+}  // namespace deterrent::netlist

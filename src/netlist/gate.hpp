@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace deterrent::netlist {
+
+/// Identifier of a net. Every net has exactly one driver (its defining gate,
+/// primary input, constant, or flip-flop output), so nets and drivers share
+/// one id space.
+using NetId = std::uint32_t;
+
+/// Sentinel for "no net" (e.g. an undefined DFF data input during building).
+inline constexpr NetId kNoNet = 0xffffffffu;
+
+/// Primitive cell library. Matches the ISCAS `.bench` vocabulary plus
+/// constants; AND/NAND/OR/NOR/XOR/XNOR are n-ary (fanin >= 1).
+enum class GateType : std::uint8_t {
+  Input,   ///< primary input (or pseudo-input in a full-scan view)
+  Const0,  ///< constant logic 0
+  Const1,  ///< constant logic 1
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+  Dff,  ///< D flip-flop: one fanin (D); the net is the Q output
+};
+
+std::string_view to_string(GateType type);
+
+/// True for nets with no combinational fanin dependency (Input, Const*, Dff).
+/// These are the sources of the combinational topological order.
+constexpr bool is_combinational_source(GateType type) {
+  return type == GateType::Input || type == GateType::Const0 ||
+         type == GateType::Const1 || type == GateType::Dff;
+}
+
+/// True for evaluable combinational cells (everything except Input/Dff).
+constexpr bool is_combinational_cell(GateType type) {
+  return type != GateType::Input && type != GateType::Dff;
+}
+
+/// Fanin arity bounds for validation. max == 0 means "unbounded".
+struct FaninBounds {
+  unsigned min;
+  unsigned max;
+};
+FaninBounds fanin_bounds(GateType type);
+
+/// Evaluates a combinational cell on 64 patterns at once (one bit per
+/// pattern). Inputs are the fanin nets' words in fanin order.
+std::uint64_t eval_word(GateType type, std::span<const std::uint64_t> inputs);
+
+/// Scalar reference evaluation (used by tests as the naive oracle).
+bool eval_bool(GateType type, std::span<const bool> inputs);
+
+}  // namespace deterrent::netlist

@@ -1,0 +1,201 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace deterrent::netlist {
+
+std::optional<NetId> Netlist::find(const std::string& net_name) const {
+  auto it = name_index_.find(net_name);
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+NetId NetlistBuilder::declare(std::string name) {
+  NetId id = static_cast<NetId>(types_.size());
+  types_.push_back(kUndefined);
+  fanins_.emplace_back();
+  names_.push_back(std::move(name));
+  return id;
+}
+
+NetId NetlistBuilder::add_defined(GateType type, std::vector<NetId> fanins,
+                                  std::string name) {
+  NetId id = declare(std::move(name));
+  types_[id] = type;
+  fanins_[id] = std::move(fanins);
+  return id;
+}
+
+NetId NetlistBuilder::add_input(std::string name) {
+  return add_defined(GateType::Input, {}, std::move(name));
+}
+
+NetId NetlistBuilder::add_const(bool value, std::string name) {
+  return add_defined(value ? GateType::Const1 : GateType::Const0, {}, std::move(name));
+}
+
+NetId NetlistBuilder::add_gate(GateType type, std::vector<NetId> fanins,
+                               std::string name) {
+  if (!is_combinational_cell(type))
+    throw Error("add_gate: " + std::string(to_string(type)) + " is not a combinational cell");
+  return add_defined(type, std::move(fanins), std::move(name));
+}
+
+NetId NetlistBuilder::add_dff(NetId d, std::string name) {
+  std::vector<NetId> fanins;
+  if (d != kNoNet) fanins.push_back(d);
+  return add_defined(GateType::Dff, std::move(fanins), std::move(name));
+}
+
+void NetlistBuilder::check_new_definition(NetId net) const {
+  if (net >= types_.size()) throw Error("define: unknown net id");
+  if (types_[net] != kUndefined)
+    throw Error("define: net '" + names_[net] + "' already defined");
+}
+
+void NetlistBuilder::define_input(NetId net) {
+  check_new_definition(net);
+  types_[net] = GateType::Input;
+}
+
+void NetlistBuilder::define_gate(NetId net, GateType type, std::vector<NetId> fanins) {
+  check_new_definition(net);
+  if (!is_combinational_cell(type))
+    throw Error("define_gate: " + std::string(to_string(type)) +
+                " is not a combinational cell");
+  types_[net] = type;
+  fanins_[net] = std::move(fanins);
+}
+
+void NetlistBuilder::define_dff(NetId net, NetId d) {
+  check_new_definition(net);
+  types_[net] = GateType::Dff;
+  if (d != kNoNet) fanins_[net] = {d};
+}
+
+void NetlistBuilder::set_dff_input(NetId q, NetId d) {
+  if (q >= types_.size() || types_[q] != GateType::Dff)
+    throw Error("set_dff_input: net is not a DFF");
+  fanins_[q] = {d};
+}
+
+void NetlistBuilder::mark_output(NetId net) {
+  if (net >= types_.size()) throw Error("mark_output: unknown net id");
+  outputs_.push_back(net);
+}
+
+Netlist NetlistBuilder::build() {
+  const std::size_t n = types_.size();
+
+  // Full-definition and arity validation.
+  for (NetId id = 0; id < n; ++id) {
+    if (types_[id] == kUndefined)
+      throw Error("build: net '" + names_[id] + "' (#" + std::to_string(id) +
+                  ") was declared but never defined");
+    const FaninBounds bounds = fanin_bounds(types_[id]);
+    const std::size_t arity = fanins_[id].size();
+    if (arity < bounds.min || (bounds.max != 0 && arity > bounds.max))
+      throw Error("build: net '" + names_[id] + "' has invalid fanin count " +
+                  std::to_string(arity) + " for " + std::string(to_string(types_[id])));
+    for (NetId f : fanins_[id])
+      if (f >= n) throw Error("build: net '" + names_[id] + "' has out-of-range fanin");
+  }
+
+  Netlist out;
+  out.types_ = std::move(types_);
+  out.names_ = std::move(names_);
+  out.outputs_ = std::move(outputs_);
+
+  // Fanin CSR.
+  out.fanin_offset_.assign(n + 1, 0);
+  for (NetId id = 0; id < n; ++id)
+    out.fanin_offset_[id + 1] =
+        out.fanin_offset_[id] + static_cast<std::uint32_t>(fanins_[id].size());
+  out.fanins_.reserve(out.fanin_offset_[n]);
+  for (NetId id = 0; id < n; ++id)
+    out.fanins_.insert(out.fanins_.end(), fanins_[id].begin(), fanins_[id].end());
+
+  // Kahn topological sort over combinational dependencies. DFF outputs are
+  // sources (their D-input dependency crosses a clock edge, not this cycle).
+  std::vector<std::uint32_t> pending(n, 0);
+  for (NetId id = 0; id < n; ++id)
+    if (is_combinational_cell(out.types_[id]))
+      pending[id] = static_cast<std::uint32_t>(out.fanins(id).size());
+
+  out.topo_order_.reserve(n);
+  out.levels_.assign(n, 0);
+
+  // Fanout counting restricted to combinational consumers for the sort; the
+  // stored fanout CSR below includes DFF consumers as well.
+  std::vector<NetId> ready;
+  for (NetId id = 0; id < n; ++id)
+    if (!is_combinational_cell(out.types_[id]) || pending[id] == 0) {
+      ready.push_back(id);
+      if (out.types_[id] == GateType::Input) out.inputs_.push_back(id);
+      if (out.types_[id] == GateType::Dff) out.dffs_.push_back(id);
+    }
+
+  // Temporary combinational fanout adjacency for Kahn's algorithm.
+  std::vector<std::uint32_t> comb_fanout_offset(n + 1, 0);
+  for (NetId id = 0; id < n; ++id) {
+    if (!is_combinational_cell(out.types_[id])) continue;
+    for (NetId f : out.fanins(id)) comb_fanout_offset[f + 1]++;
+  }
+  for (std::size_t i = 0; i < n; ++i) comb_fanout_offset[i + 1] += comb_fanout_offset[i];
+  std::vector<NetId> comb_fanout(comb_fanout_offset[n]);
+  {
+    std::vector<std::uint32_t> cursor(comb_fanout_offset.begin(),
+                                      comb_fanout_offset.end() - 1);
+    for (NetId id = 0; id < n; ++id) {
+      if (!is_combinational_cell(out.types_[id])) continue;
+      for (NetId f : out.fanins(id)) comb_fanout[cursor[f]++] = id;
+    }
+  }
+
+  std::size_t head = 0;
+  std::vector<NetId> order = std::move(ready);
+  while (head < order.size()) {
+    NetId id = order[head++];
+    unsigned lvl = 0;
+    if (is_combinational_cell(out.types_[id]) && !out.fanins(id).empty()) {
+      for (NetId f : out.fanins(id)) lvl = std::max(lvl, out.levels_[f] + 1);
+    }
+    out.levels_[id] = lvl;
+    out.max_level_ = std::max(out.max_level_, lvl);
+    for (std::uint32_t k = comb_fanout_offset[id]; k < comb_fanout_offset[id + 1]; ++k) {
+      NetId consumer = comb_fanout[k];
+      if (--pending[consumer] == 0) order.push_back(consumer);
+    }
+  }
+  if (order.size() != n)
+    throw Error("build: combinational cycle detected (" +
+                std::to_string(n - order.size()) + " nets unreachable)");
+  out.topo_order_ = std::move(order);
+
+  // Full fanout CSR (includes DFF data-input consumers).
+  out.fanout_offset_.assign(n + 1, 0);
+  for (NetId id = 0; id < n; ++id)
+    for (NetId f : out.fanins(id)) out.fanout_offset_[f + 1]++;
+  for (std::size_t i = 0; i < n; ++i) out.fanout_offset_[i + 1] += out.fanout_offset_[i];
+  out.fanouts_.resize(out.fanout_offset_[n]);
+  {
+    std::vector<std::uint32_t> cursor(out.fanout_offset_.begin(),
+                                      out.fanout_offset_.end() - 1);
+    for (NetId id = 0; id < n; ++id)
+      for (NetId f : out.fanins(id)) out.fanouts_[cursor[f]++] = id;
+  }
+
+  out.gate_count_ = 0;
+  for (NetId id = 0; id < n; ++id)
+    if (is_combinational_cell(out.types_[id])) out.gate_count_++;
+
+  for (NetId id = 0; id < n; ++id)
+    if (!out.names_[id].empty()) out.name_index_.emplace(out.names_[id], id);
+
+  fanins_.clear();
+  return out;
+}
+
+}  // namespace deterrent::netlist

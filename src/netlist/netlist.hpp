@@ -1,0 +1,131 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace deterrent::netlist {
+
+/// Immutable gate-level netlist.
+///
+/// Built via NetlistBuilder, which validates structure (arity, combinational
+/// acyclicity, full definition) and precomputes the combinational topological
+/// order, levels, and fanout lists. Sequential feedback is legal only through
+/// DFFs; the topological order treats DFF outputs as sources, so a levelized
+/// sweep over `topo_order()` evaluates one clock cycle of combinational logic.
+class Netlist {
+ public:
+  /// Creates an empty netlist; useful as a placeholder before assignment.
+  Netlist() = default;
+
+  /// Total number of nets (== number of drivers: inputs + constants + gates + DFFs).
+  std::size_t net_count() const { return types_.size(); }
+
+  GateType type(NetId net) const { return types_[net]; }
+
+  std::span<const NetId> fanins(NetId net) const {
+    return {fanins_.data() + fanin_offset_[net],
+            fanin_offset_[net + 1] - fanin_offset_[net]};
+  }
+
+  std::span<const NetId> fanouts(NetId net) const {
+    return {fanouts_.data() + fanout_offset_[net],
+            fanout_offset_[net + 1] - fanout_offset_[net]};
+  }
+
+  std::span<const NetId> inputs() const { return inputs_; }
+  std::span<const NetId> outputs() const { return outputs_; }
+  /// Q-output nets of all flip-flops, in creation order.
+  std::span<const NetId> dffs() const { return dffs_; }
+
+  /// Nets in an order where every combinational cell appears after all of its
+  /// fanins; sources (Input/Const/Dff) come first.
+  std::span<const NetId> topo_order() const { return topo_order_; }
+
+  /// Combinational depth: 0 for sources, 1 + max(fanin levels) otherwise.
+  unsigned level(NetId net) const { return levels_[net]; }
+  unsigned max_level() const { return max_level_; }
+
+  /// Number of combinational cells (excludes Input and Dff nets; includes
+  /// constants and buffers). This is the "# Gates" a paper table reports.
+  std::size_t gate_count() const { return gate_count_; }
+
+  bool is_sequential() const { return !dffs_.empty(); }
+
+  /// Name of a net ("" when unnamed). Names are preserved by parsers and
+  /// generators for debuggability and `.bench` round-trips.
+  const std::string& name(NetId net) const { return names_[net]; }
+
+  /// Looks a net up by name; nullopt when absent.
+  std::optional<NetId> find(const std::string& name) const;
+
+ private:
+  friend class NetlistBuilder;
+
+  std::vector<GateType> types_;
+  std::vector<std::uint32_t> fanin_offset_;  // CSR into fanins_, size net_count()+1
+  std::vector<NetId> fanins_;
+  std::vector<std::uint32_t> fanout_offset_;  // CSR into fanouts_
+  std::vector<NetId> fanouts_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<NetId> dffs_;
+  std::vector<NetId> topo_order_;
+  std::vector<unsigned> levels_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NetId> name_index_;
+  std::size_t gate_count_ = 0;
+  unsigned max_level_ = 0;
+};
+
+/// Incremental netlist constructor.
+///
+/// Supports forward references in two ways: `declare()` creates a net whose
+/// driver is defined later with `define_*()` (needed by the `.bench` parser,
+/// which sees uses before definitions), and DFF data inputs may be set after
+/// the DFF itself exists (needed for sequential feedback).
+class NetlistBuilder {
+ public:
+  /// Declares a yet-undefined net. Must be defined before build().
+  NetId declare(std::string name = "");
+
+  /// Declares + defines in one step.
+  NetId add_input(std::string name = "");
+  NetId add_const(bool value, std::string name = "");
+  NetId add_gate(GateType type, std::vector<NetId> fanins, std::string name = "");
+  /// Creates a DFF output net; `d == kNoNet` leaves the data input open for a
+  /// later set_dff_input() call.
+  NetId add_dff(NetId d = kNoNet, std::string name = "");
+
+  /// Defines a previously declared net.
+  void define_input(NetId net);
+  void define_gate(NetId net, GateType type, std::vector<NetId> fanins);
+  void define_dff(NetId net, NetId d = kNoNet);
+
+  void set_dff_input(NetId q, NetId d);
+  void mark_output(NetId net);
+
+  std::size_t net_count() const { return types_.size(); }
+
+  /// Validates and finalizes. Throws deterrent::Error on: undefined nets,
+  /// dangling DFF data inputs, arity violations, out-of-range fanins, or a
+  /// combinational cycle. The builder is left empty afterwards.
+  Netlist build();
+
+ private:
+  NetId add_defined(GateType type, std::vector<NetId> fanins, std::string name);
+  void check_new_definition(NetId net) const;
+
+  static constexpr GateType kUndefined = static_cast<GateType>(0xff);
+
+  std::vector<GateType> types_;
+  std::vector<std::vector<NetId>> fanins_;
+  std::vector<std::string> names_;
+  std::vector<NetId> outputs_;
+};
+
+}  // namespace deterrent::netlist

@@ -1,0 +1,61 @@
+#include "netlist/prune.hpp"
+
+namespace deterrent::netlist {
+
+PruneResult prune_dead_logic(const Netlist& nl) {
+  // Mark the transitive fanin of all observation points: POs and DFF data
+  // inputs (state that persists is observable through a later cycle under
+  // the full-scan assumption).
+  std::vector<bool> live(nl.net_count(), false);
+  std::vector<NetId> worklist;
+  auto mark = [&](NetId id) {
+    if (!live[id]) {
+      live[id] = true;
+      worklist.push_back(id);
+    }
+  };
+  for (const NetId out : nl.outputs()) mark(out);
+  for (const NetId q : nl.dffs()) mark(q);
+  while (!worklist.empty()) {
+    const NetId id = worklist.back();
+    worklist.pop_back();
+    for (const NetId f : nl.fanins(id)) mark(f);
+  }
+  // Keep every primary input regardless (pattern arity stability).
+  for (const NetId in : nl.inputs()) live[in] = true;
+
+  PruneResult result;
+  result.net_map.assign(nl.net_count(), kNoNet);
+
+  NetlistBuilder builder;
+  for (NetId id = 0; id < nl.net_count(); ++id) {
+    if (!live[id]) {
+      ++result.removed_nets;
+      continue;
+    }
+    result.net_map[id] = builder.declare(nl.name(id));
+  }
+  for (NetId id = 0; id < nl.net_count(); ++id) {
+    if (!live[id]) continue;
+    const NetId mapped = result.net_map[id];
+    switch (nl.type(id)) {
+      case GateType::Input:
+        builder.define_input(mapped);
+        break;
+      case GateType::Dff:
+        builder.define_dff(mapped, result.net_map[nl.fanins(id)[0]]);
+        break;
+      default: {
+        std::vector<NetId> fanins;
+        fanins.reserve(nl.fanins(id).size());
+        for (const NetId f : nl.fanins(id)) fanins.push_back(result.net_map[f]);
+        builder.define_gate(mapped, nl.type(id), std::move(fanins));
+      }
+    }
+  }
+  for (const NetId out : nl.outputs()) builder.mark_output(result.net_map[out]);
+  result.netlist = builder.build();
+  return result;
+}
+
+}  // namespace deterrent::netlist

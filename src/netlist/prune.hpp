@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace deterrent::netlist {
+
+/// Result of dead-logic removal.
+struct PruneResult {
+  Netlist netlist;
+  /// old NetId → new NetId, or kNoNet for removed nets.
+  std::vector<NetId> net_map;
+  std::size_t removed_nets = 0;
+};
+
+/// Removes logic that cannot reach any primary output or flip-flop data
+/// input (transitive-fanin sweep). Primary inputs are always kept — test
+/// patterns keep their arity — as are all DFFs. Generated random circuits
+/// contain a little dead logic; pruning it before analysis avoids wasting
+/// rare-net slots (and SAT/RL effort) on unobservable nets.
+PruneResult prune_dead_logic(const Netlist& netlist);
+
+}  // namespace deterrent::netlist

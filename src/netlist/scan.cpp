@@ -1,0 +1,33 @@
+#include "netlist/scan.hpp"
+
+namespace deterrent::netlist {
+
+ScanView make_full_scan(const Netlist& netlist) {
+  NetlistBuilder builder;
+  ScanView view;
+
+  // Recreate every net under the same id. Declaration order preserves ids.
+  for (NetId id = 0; id < netlist.net_count(); ++id) builder.declare(netlist.name(id));
+
+  for (NetId id = 0; id < netlist.net_count(); ++id) {
+    const GateType type = netlist.type(id);
+    if (type == GateType::Input) {
+      builder.define_input(id);
+    } else if (type == GateType::Dff) {
+      builder.define_input(id);  // Q becomes a directly controllable pseudo-PI
+      view.pseudo_inputs.push_back(id);
+      view.pseudo_outputs.push_back(netlist.fanins(id)[0]);  // D becomes observable
+    } else {
+      auto fanins = netlist.fanins(id);
+      builder.define_gate(id, type, {fanins.begin(), fanins.end()});
+    }
+  }
+
+  for (NetId out : netlist.outputs()) builder.mark_output(out);
+  for (NetId d : view.pseudo_outputs) builder.mark_output(d);
+
+  view.comb = builder.build();
+  return view;
+}
+
+}  // namespace deterrent::netlist

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace deterrent::netlist {
+
+/// Result of the full-scan transform. Net ids are IDENTICAL between the
+/// original netlist and `comb`: the transform only retypes DFF outputs as
+/// pseudo primary inputs and exposes DFF data nets as pseudo primary outputs.
+/// This id stability lets rare-net and Trojan analyses computed on the scan
+/// view be reported against the original design directly.
+struct ScanView {
+  Netlist comb;                        ///< purely combinational netlist
+  std::vector<NetId> pseudo_inputs;    ///< former DFF Q nets, now inputs
+  std::vector<NetId> pseudo_outputs;   ///< former DFF D nets, now outputs
+};
+
+/// Applies the full-scan testability assumption used by DETERRENT, TARMAC and
+/// TGRL (§4.1): every flip-flop is directly controllable and observable, so
+/// one test pattern assigns all primary inputs plus all scanned state bits.
+/// For a combinational netlist this is an identity copy.
+ScanView make_full_scan(const Netlist& netlist);
+
+}  // namespace deterrent::netlist

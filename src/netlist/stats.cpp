@@ -1,0 +1,40 @@
+#include "netlist/stats.hpp"
+
+#include <sstream>
+
+namespace deterrent::netlist {
+
+NetlistStats compute_stats(const Netlist& netlist) {
+  NetlistStats stats;
+  stats.net_count = netlist.net_count();
+  stats.input_count = netlist.inputs().size();
+  stats.output_count = netlist.outputs().size();
+  stats.dff_count = netlist.dffs().size();
+  stats.gate_count = netlist.gate_count();
+  stats.max_level = netlist.max_level();
+
+  std::size_t fanin_total = 0;
+  std::size_t fanout_total = 0;
+  for (NetId id = 0; id < netlist.net_count(); ++id) {
+    stats.count_by_type[static_cast<std::size_t>(netlist.type(id))]++;
+    if (is_combinational_cell(netlist.type(id))) fanin_total += netlist.fanins(id).size();
+    fanout_total += netlist.fanouts(id).size();
+  }
+  stats.avg_fanin =
+      stats.gate_count ? static_cast<double>(fanin_total) / stats.gate_count : 0.0;
+  stats.avg_fanout =
+      stats.net_count ? static_cast<double>(fanout_total) / stats.net_count : 0.0;
+  return stats;
+}
+
+std::string NetlistStats::to_string() const {
+  std::ostringstream oss;
+  oss << "nets=" << net_count << " inputs=" << input_count << " outputs=" << output_count
+      << " dffs=" << dff_count << " gates=" << gate_count << " depth=" << max_level;
+  oss.setf(std::ios::fixed);
+  oss.precision(2);
+  oss << " avg_fanin=" << avg_fanin << " avg_fanout=" << avg_fanout;
+  return oss.str();
+}
+
+}  // namespace deterrent::netlist

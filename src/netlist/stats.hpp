@@ -1,0 +1,30 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace deterrent::netlist {
+
+/// Structural summary of a netlist — used by generators to verify that
+/// synthetic benchmarks land in the intended profile, and printed by the
+/// example applications.
+struct NetlistStats {
+  std::size_t net_count = 0;
+  std::size_t input_count = 0;
+  std::size_t output_count = 0;
+  std::size_t dff_count = 0;
+  std::size_t gate_count = 0;  ///< combinational cells
+  unsigned max_level = 0;
+  double avg_fanin = 0.0;   ///< over combinational cells
+  double avg_fanout = 0.0;  ///< over all nets
+  std::array<std::size_t, 12> count_by_type{};  ///< indexed by GateType
+
+  std::string to_string() const;
+};
+
+NetlistStats compute_stats(const Netlist& netlist);
+
+}  // namespace deterrent::netlist

@@ -1,0 +1,108 @@
+#include "netlist/verilog_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace deterrent::netlist {
+
+namespace {
+
+std::string vname(const Netlist& netlist, NetId net) {
+  const std::string& given = netlist.name(net);
+  if (given.empty()) return "n" + std::to_string(net);
+  // Escape anything that is not a simple identifier.
+  bool simple = !given.empty() && (std::isalpha(static_cast<unsigned char>(given[0])) ||
+                                   given[0] == '_');
+  for (char c : given)
+    simple = simple && (std::isalnum(static_cast<unsigned char>(c)) || c == '_');
+  return simple ? given : "\\" + given + " ";
+}
+
+const char* prim_name(GateType type) {
+  switch (type) {
+    case GateType::Buf: return "buf";
+    case GateType::Not: return "not";
+    case GateType::And: return "and";
+    case GateType::Nand: return "nand";
+    case GateType::Or: return "or";
+    case GateType::Nor: return "nor";
+    case GateType::Xor: return "xor";
+    case GateType::Xnor: return "xnor";
+    default: DETERRENT_ASSERT(false, "not a verilog primitive");
+  }
+  return "";
+}
+
+}  // namespace
+
+void write_verilog(const Netlist& netlist, const std::string& module_name,
+                   std::ostream& out) {
+  out << "// written by deterrent\n";
+  out << "module " << module_name << " (";
+  bool first = true;
+  auto emit_port = [&](const std::string& p) {
+    if (!first) out << ", ";
+    out << p;
+    first = false;
+  };
+  if (netlist.is_sequential()) emit_port("clk");
+  for (NetId in : netlist.inputs()) emit_port(vname(netlist, in));
+  for (NetId po : netlist.outputs()) emit_port(vname(netlist, po) + "_po");
+  out << ");\n";
+
+  if (netlist.is_sequential()) out << "  input clk;\n";
+  for (NetId in : netlist.inputs()) out << "  input " << vname(netlist, in) << ";\n";
+  for (NetId po : netlist.outputs())
+    out << "  output " << vname(netlist, po) << "_po;\n";
+
+  for (NetId id = 0; id < netlist.net_count(); ++id) {
+    if (netlist.type(id) == GateType::Input) continue;
+    if (netlist.type(id) == GateType::Dff)
+      out << "  reg " << vname(netlist, id) << ";\n";
+    else
+      out << "  wire " << vname(netlist, id) << ";\n";
+  }
+
+  for (NetId id = 0; id < netlist.net_count(); ++id) {
+    const GateType type = netlist.type(id);
+    switch (type) {
+      case GateType::Input: break;
+      case GateType::Const0:
+        out << "  assign " << vname(netlist, id) << " = 1'b0;\n";
+        break;
+      case GateType::Const1:
+        out << "  assign " << vname(netlist, id) << " = 1'b1;\n";
+        break;
+      case GateType::Dff:
+        out << "  always @(posedge clk) " << vname(netlist, id) << " <= "
+            << vname(netlist, netlist.fanins(id)[0]) << ";\n";
+        break;
+      default: {
+        out << "  " << prim_name(type) << " g" << id << " (" << vname(netlist, id);
+        for (NetId f : netlist.fanins(id)) out << ", " << vname(netlist, f);
+        out << ");\n";
+      }
+    }
+  }
+
+  for (NetId po : netlist.outputs())
+    out << "  assign " << vname(netlist, po) << "_po = " << vname(netlist, po) << ";\n";
+  out << "endmodule\n";
+}
+
+std::string write_verilog_string(const Netlist& netlist, const std::string& module_name) {
+  std::ostringstream oss;
+  write_verilog(netlist, module_name, oss);
+  return oss.str();
+}
+
+void write_verilog_file(const Netlist& netlist, const std::string& module_name,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open file for writing: " + path);
+  write_verilog(netlist, module_name, out);
+}
+
+}  // namespace deterrent::netlist

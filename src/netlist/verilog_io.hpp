@@ -1,0 +1,20 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace deterrent::netlist {
+
+/// Emits a self-contained structural Verilog module using primitive gates
+/// (and/or/nand/nor/xor/xnor/not/buf) and behavioural DFFs. Useful for
+/// inspecting generated benchmarks in standard EDA tooling; the `.bench`
+/// format remains the canonical interchange format of this library.
+void write_verilog(const Netlist& netlist, const std::string& module_name,
+                   std::ostream& out);
+std::string write_verilog_string(const Netlist& netlist, const std::string& module_name);
+void write_verilog_file(const Netlist& netlist, const std::string& module_name,
+                        const std::string& path);
+
+}  // namespace deterrent::netlist

@@ -1,0 +1,52 @@
+#include "rl/adam.hpp"
+
+#include <cmath>
+
+namespace deterrent::rl {
+
+Adam::Adam(std::vector<ParamRef> params, const AdamConfig& config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.size, 0.0f);
+    v_.emplace_back(p.size, 0.0f);
+  }
+}
+
+double Adam::grad_norm() const {
+  double sum_sq = 0.0;
+  for (const auto& p : params_)
+    for (std::size_t i = 0; i < p.size; ++i)
+      sum_sq += static_cast<double>(p.grads[i]) * p.grads[i];
+  return std::sqrt(sum_sq);
+}
+
+void Adam::step(float max_grad_norm) {
+  float scale = 1.0f;
+  if (max_grad_norm > 0.0f) {
+    const double norm = grad_norm();
+    if (norm > max_grad_norm) scale = static_cast<float>(max_grad_norm / norm);
+  }
+
+  ++t_;
+  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& p = params_[k];
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (std::size_t i = 0; i < p.size; ++i) {
+      const float g = p.grads[i] * scale;
+      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g;
+      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g * g;
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      p.values[i] -=
+          static_cast<float>(config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps));
+    }
+  }
+}
+
+}  // namespace deterrent::rl

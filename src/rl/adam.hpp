@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "rl/mlp.hpp"
+
+namespace deterrent::rl {
+
+struct AdamConfig {
+  float lr = 3e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+};
+
+/// Adam optimizer over a flat list of parameter views, with optional global
+/// gradient-norm clipping (standard PPO practice).
+class Adam {
+ public:
+  Adam(std::vector<ParamRef> params, const AdamConfig& config = {});
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// parameter views, then leaves the gradients untouched (call zero_grad on
+  /// the network afterwards). `max_grad_norm <= 0` disables clipping.
+  void step(float max_grad_norm = 0.0f);
+
+  /// Global L2 norm of the current gradients (diagnostic).
+  double grad_norm() const;
+
+  std::uint64_t step_count() const { return t_; }
+
+ private:
+  std::vector<ParamRef> params_;
+  AdamConfig config_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  std::uint64_t t_ = 0;
+};
+
+}  // namespace deterrent::rl

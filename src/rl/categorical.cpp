@@ -1,0 +1,87 @@
+#include "rl/categorical.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace deterrent::rl {
+
+namespace {
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+}
+
+MaskedCategorical::MaskedCategorical(std::span<const float> logits,
+                                     const util::BitVec& mask)
+    : mask_(&mask) {
+  DETERRENT_ASSERT(logits.size() == mask.size(), "logits/mask size mismatch");
+  DETERRENT_ASSERT(mask.any(), "masked categorical requires a valid action");
+
+  const std::size_t n = logits.size();
+  probs_.assign(n, 0.0f);
+  log_probs_.assign(n, kNegInf);
+
+  // Numerically stable masked log-softmax.
+  float max_logit = kNegInf;
+  for (std::size_t i = mask.find_first(); i < n; i = mask.find_next(i + 1))
+    max_logit = std::max(max_logit, logits[i]);
+
+  double z = 0.0;
+  for (std::size_t i = mask.find_first(); i < n; i = mask.find_next(i + 1))
+    z += std::exp(static_cast<double>(logits[i] - max_logit));
+  const float log_z = static_cast<float>(std::log(z)) + max_logit;
+
+  double h = 0.0;
+  for (std::size_t i = mask.find_first(); i < n; i = mask.find_next(i + 1)) {
+    const float lp = logits[i] - log_z;
+    log_probs_[i] = lp;
+    const float p = std::exp(lp);
+    probs_[i] = p;
+    if (p > 0.0f) h -= static_cast<double>(p) * lp;
+  }
+  entropy_ = static_cast<float>(h);
+}
+
+float MaskedCategorical::log_prob(std::uint32_t action) const {
+  DETERRENT_ASSERT(action < log_probs_.size() && mask_->test(action),
+                   "log_prob of masked action");
+  return log_probs_[action];
+}
+
+float MaskedCategorical::entropy() const { return entropy_; }
+
+std::uint32_t MaskedCategorical::sample(util::Rng& rng) const {
+  const double u = rng.uniform();
+  double cdf = 0.0;
+  std::size_t last_valid = 0;
+  for (std::size_t i = mask_->find_first(); i < probs_.size();
+       i = mask_->find_next(i + 1)) {
+    cdf += probs_[i];
+    last_valid = i;
+    if (u < cdf) return static_cast<std::uint32_t>(i);
+  }
+  return static_cast<std::uint32_t>(last_valid);  // guard against rounding
+}
+
+std::uint32_t MaskedCategorical::argmax() const {
+  std::size_t best = mask_->find_first();
+  for (std::size_t i = mask_->find_next(best + 1); i < probs_.size();
+       i = mask_->find_next(i + 1))
+    if (probs_[i] > probs_[best]) best = i;
+  return static_cast<std::uint32_t>(best);
+}
+
+void MaskedCategorical::add_grad(std::uint32_t action, float g, float h,
+                                 std::span<float> grad) const {
+  DETERRENT_ASSERT(grad.size() == probs_.size(), "grad size mismatch");
+  for (std::size_t i = mask_->find_first(); i < probs_.size();
+       i = mask_->find_next(i + 1)) {
+    const float p = probs_[i];
+    float d = -g * p;
+    if (static_cast<std::uint32_t>(i) == action) d += g;
+    if (h != 0.0f && p > 0.0f) d -= h * p * (log_probs_[i] + entropy_);
+    grad[i] += d;
+  }
+}
+
+}  // namespace deterrent::rl

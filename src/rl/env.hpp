@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace deterrent::rl {
+
+/// Result of one environment step.
+struct StepResult {
+  std::vector<float> observation;
+  float reward = 0.0f;
+  bool done = false;
+};
+
+/// Episodic environment with a discrete, maskable action space — the
+/// interface the PPO trainer drives. Implementations must be independent per
+/// instance: the trainer creates one per rollout worker (vectorized
+/// environments, §4.1).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual std::size_t observation_size() const = 0;
+  virtual std::size_t action_count() const = 0;
+
+  /// Starts a new episode; returns the initial observation.
+  virtual std::vector<float> reset(util::Rng& rng) = 0;
+
+  /// Applies an action. Must only be called with a currently valid action.
+  virtual StepResult step(std::uint32_t action) = 0;
+
+  /// Valid actions in the current state (bit per action, at least one set
+  /// while the episode is running). Environments without masking return the
+  /// all-ones mask.
+  virtual const util::BitVec& action_mask() const = 0;
+};
+
+}  // namespace deterrent::rl

@@ -1,0 +1,41 @@
+#include "rl/gae.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace deterrent::rl {
+
+GaeResult compute_gae(std::span<const float> rewards, std::span<const float> values,
+                      float gamma, float lambda) {
+  DETERRENT_ASSERT(rewards.size() == values.size(), "GAE input size mismatch");
+  const std::size_t n = rewards.size();
+  GaeResult result;
+  result.advantages.assign(n, 0.0f);
+  result.returns.assign(n, 0.0f);
+
+  float gae = 0.0f;
+  for (std::size_t t = n; t-- > 0;) {
+    const float next_value = (t + 1 < n) ? values[t + 1] : 0.0f;
+    const float delta = rewards[t] + gamma * next_value - values[t];
+    gae = delta + gamma * lambda * gae;
+    result.advantages[t] = gae;
+    result.returns[t] = gae + values[t];
+  }
+  return result;
+}
+
+void normalize_advantages(std::span<float> advantages) {
+  if (advantages.size() < 2) return;
+  double mean = 0.0;
+  for (const float a : advantages) mean += a;
+  mean /= static_cast<double>(advantages.size());
+  double var = 0.0;
+  for (const float a : advantages) var += (a - mean) * (a - mean);
+  var /= static_cast<double>(advantages.size());
+  const double std_dev = std::sqrt(var) + 1e-8;
+  for (float& a : advantages)
+    a = static_cast<float>((a - mean) / std_dev);
+}
+
+}  // namespace deterrent::rl

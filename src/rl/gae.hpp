@@ -1,0 +1,27 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace deterrent::rl {
+
+/// Generalized Advantage Estimation over one finite episode.
+///
+/// advantages[t] = Σ_k (γλ)^k δ_{t+k},  δ_t = r_t + γ V(s_{t+1}) − V(s_t),
+/// with V(s_T) = 0 at the terminal state. `lambda` is the smoothing parameter
+/// the paper raises to 0.99 to boost exploration variance (§3.4).
+///
+/// returns[t] = advantages[t] + values[t] are the value-function targets.
+struct GaeResult {
+  std::vector<float> advantages;
+  std::vector<float> returns;
+};
+
+GaeResult compute_gae(std::span<const float> rewards, std::span<const float> values,
+                      float gamma, float lambda);
+
+/// Normalizes advantages to zero mean / unit variance in place (a standard
+/// PPO stabilization; skipped when fewer than two samples).
+void normalize_advantages(std::span<float> advantages);
+
+}  // namespace deterrent::rl

@@ -1,0 +1,119 @@
+#include "rl/mlp.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace deterrent::rl {
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, util::Rng& rng)
+    : layer_sizes_(std::move(layer_sizes)) {
+  DETERRENT_ASSERT(layer_sizes_.size() >= 2, "Mlp needs at least input and output");
+  layers_.resize(layer_sizes_.size() - 1);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    auto& layer = layers_[l];
+    layer.in = layer_sizes_[l];
+    layer.out = layer_sizes_[l + 1];
+    layer.w.resize(layer.in * layer.out);
+    layer.b.assign(layer.out, 0.0f);
+    layer.gw.assign(layer.w.size(), 0.0f);
+    layer.gb.assign(layer.out, 0.0f);
+    // Scaled normal init (Xavier-style); the output layer gets a smaller
+    // scale so initial policies are near-uniform and values near zero.
+    const bool is_output = l + 1 == layers_.size();
+    const double scale =
+        (is_output ? 0.01 : 1.0) * std::sqrt(2.0 / static_cast<double>(layer.in));
+    for (auto& w : layer.w) w = static_cast<float>(rng.normal() * scale);
+  }
+}
+
+std::vector<float> Mlp::forward(std::span<const float> input, Workspace& ws) const {
+  DETERRENT_ASSERT(input.size() == input_size(), "Mlp::forward input size mismatch");
+  ws.post.resize(layers_.size());
+
+  std::span<const float> x = input;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& layer = layers_[l];
+    auto& out = ws.post[l];
+    out.assign(layer.out, 0.0f);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const float* wrow = layer.w.data() + o * layer.in;
+      float acc = layer.b[o];
+      for (std::size_t i = 0; i < layer.in; ++i) acc += wrow[i] * x[i];
+      out[o] = acc;
+    }
+    if (l + 1 < layers_.size())
+      for (auto& v : out) v = std::tanh(v);
+    x = out;
+  }
+  return ws.post.back();
+}
+
+void Mlp::backward(std::span<const float> input, const Workspace& ws,
+                   std::span<const float> output_grad) {
+  DETERRENT_ASSERT(ws.post.size() == layers_.size(), "workspace/layer mismatch");
+  DETERRENT_ASSERT(output_grad.size() == output_size(), "output grad size mismatch");
+
+  std::vector<float> grad(output_grad.begin(), output_grad.end());
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    auto& layer = layers_[l];
+    const std::span<const float> x =
+        l == 0 ? input : std::span<const float>(ws.post[l - 1]);
+
+    // grad currently holds dL/d(pre-activation) of layer l: for hidden layers
+    // the tanh derivative was applied by the previous iteration; the output
+    // layer is linear.
+    std::vector<float> prev_grad(layer.in, 0.0f);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const float g = grad[o];
+      if (g == 0.0f) continue;
+      float* gw_row = layer.gw.data() + o * layer.in;
+      const float* w_row = layer.w.data() + o * layer.in;
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        gw_row[i] += g * x[i];
+        prev_grad[i] += g * w_row[i];
+      }
+      layer.gb[o] += g;
+    }
+    if (l > 0) {
+      // Chain through the tanh of layer l-1: post = tanh(pre) ⇒ d pre = (1-post²) d post.
+      const auto& post = ws.post[l - 1];
+      for (std::size_t i = 0; i < post.size(); ++i)
+        prev_grad[i] *= 1.0f - post[i] * post[i];
+      grad = std::move(prev_grad);
+    }
+  }
+}
+
+void Mlp::zero_grad() {
+  for (auto& layer : layers_) {
+    std::fill(layer.gw.begin(), layer.gw.end(), 0.0f);
+    std::fill(layer.gb.begin(), layer.gb.end(), 0.0f);
+  }
+}
+
+std::vector<ParamRef> Mlp::params() {
+  std::vector<ParamRef> refs;
+  refs.reserve(layers_.size() * 2);
+  for (auto& layer : layers_) {
+    refs.push_back({layer.w.data(), layer.gw.data(), layer.w.size()});
+    refs.push_back({layer.b.data(), layer.gb.data(), layer.b.size()});
+  }
+  return refs;
+}
+
+void Mlp::copy_params_from(const Mlp& other) {
+  DETERRENT_ASSERT(layer_sizes_ == other.layer_sizes_, "Mlp shape mismatch");
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    layers_[l].w = other.layers_[l].w;
+    layers_[l].b = other.layers_[l].b;
+  }
+}
+
+std::size_t Mlp::param_count() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) total += layer.w.size() + layer.b.size();
+  return total;
+}
+
+}  // namespace deterrent::rl

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace deterrent::rl {
+
+/// View over one parameter tensor and its gradient accumulator. The Adam
+/// optimizer consumes a flat list of these.
+struct ParamRef {
+  float* values = nullptr;
+  float* grads = nullptr;
+  std::size_t size = 0;
+};
+
+/// Fully connected multi-layer perceptron with tanh hidden activations and a
+/// linear output layer — the policy/value network architecture of the paper's
+/// PPO agent (§2.2). Forward and backward passes are hand-written; gradients
+/// are validated against finite differences in the test suite.
+///
+/// forward() is const and thread-safe, enabling lock-free vectorized rollouts
+/// (multiple workers run inference on a shared network snapshot, §4.1).
+class Mlp {
+ public:
+  /// layer_sizes = {input, hidden..., output}; weights get orthogonal-ish
+  /// scaled-normal init, biases start at zero.
+  Mlp(std::vector<std::size_t> layer_sizes, util::Rng& rng);
+
+  std::size_t input_size() const { return layer_sizes_.front(); }
+  std::size_t output_size() const { return layer_sizes_.back(); }
+
+  /// Per-sample activation cache for backward().
+  struct Workspace {
+    std::vector<std::vector<float>> post;  ///< post-activation per layer (incl. output)
+  };
+
+  /// Computes the output for one observation. Thread-safe.
+  std::vector<float> forward(std::span<const float> input, Workspace& ws) const;
+
+  /// Accumulates parameter gradients for dL/d-output `output_grad`, given the
+  /// workspace and input from the matching forward() call.
+  void backward(std::span<const float> input, const Workspace& ws,
+                std::span<const float> output_grad);
+
+  void zero_grad();
+
+  /// Flat parameter/gradient views for the optimizer.
+  std::vector<ParamRef> params();
+
+  /// Copies parameter values from another identically shaped network
+  /// (used to snapshot the policy for rollout workers).
+  void copy_params_from(const Mlp& other);
+
+  std::size_t param_count() const;
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::vector<float> w;   // row-major out×in
+    std::vector<float> b;   // out
+    std::vector<float> gw;  // gradient accumulators
+    std::vector<float> gb;
+  };
+
+  std::vector<std::size_t> layer_sizes_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace deterrent::rl

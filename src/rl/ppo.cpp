@@ -1,0 +1,237 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rl/categorical.hpp"
+#include "rl/gae.hpp"
+#include "util/assert.hpp"
+
+namespace deterrent::rl {
+
+namespace {
+
+std::vector<std::size_t> mlp_shape(std::size_t in, std::size_t hidden,
+                                   std::size_t hidden_layers, std::size_t out) {
+  std::vector<std::size_t> shape{in};
+  for (std::size_t i = 0; i < hidden_layers; ++i) shape.push_back(hidden);
+  shape.push_back(out);
+  return shape;
+}
+
+util::Rng seeded_rng(std::uint64_t seed, std::uint64_t stream) {
+  return util::Rng(seed * 0x9e3779b97f4a7c15ULL + stream + 1);
+}
+
+}  // namespace
+
+PpoTrainer::PpoTrainer(const EnvFactory& factory, const PpoConfig& config,
+                       std::uint64_t seed)
+    : config_(config),
+      policy_([&] {
+        auto rng = seeded_rng(seed, 0);
+        auto probe = factory(0);
+        return Mlp(mlp_shape(probe->observation_size(), config.hidden_size,
+                             config.hidden_layers, probe->action_count()),
+                   rng);
+      }()),
+      value_([&] {
+        auto rng = seeded_rng(seed, 1);
+        auto probe = factory(0);
+        return Mlp(mlp_shape(probe->observation_size(), config.hidden_size,
+                             config.hidden_layers, 1),
+                   rng);
+      }()),
+      policy_opt_(policy_.params(), {config.learning_rate}),
+      value_opt_(value_.params(), {config.learning_rate}) {
+  DETERRENT_ASSERT(config_.n_workers >= 1, "PPO requires at least one worker");
+  envs_.reserve(config_.n_workers);
+  for (std::size_t w = 0; w < config_.n_workers; ++w) envs_.push_back(factory(w));
+  // Stream 2 is the trainer's shuffling rng; workers use streams 3, 4, ….
+  worker_rngs_.reserve(config_.n_workers + 1);
+  for (std::size_t w = 0; w < config_.n_workers + 1; ++w)
+    worker_rngs_.push_back(seeded_rng(seed, 2 + w));
+  if (config_.n_workers > 1)
+    pool_ = std::make_unique<util::ThreadPool>(config_.n_workers);
+}
+
+PpoTrainer::~PpoTrainer() = default;
+
+PpoTrainer::EpisodeBuffer PpoTrainer::collect_episode(Env& env, util::Rng& rng) const {
+  EpisodeBuffer buffer;
+  std::vector<float> obs = env.reset(rng);
+  Mlp::Workspace policy_ws;
+  Mlp::Workspace value_ws;
+
+  bool done = false;
+  while (!done) {
+    util::BitVec mask = env.action_mask();  // copy: env mutates it on step
+    if (mask.none()) break;  // no legal action ⇒ episode over (mask exhausted)
+
+    const auto logits = policy_.forward(obs, policy_ws);
+    const MaskedCategorical dist(logits, mask);
+    const std::uint32_t action = dist.sample(rng);
+    const float log_prob = dist.log_prob(action);
+    const float value = value_.forward(obs, value_ws)[0];
+
+    StepResult step = env.step(action);
+
+    buffer.observations.push_back(std::move(obs));
+    buffer.masks.push_back(std::move(mask));
+    buffer.actions.push_back(action);
+    buffer.log_probs.push_back(log_prob);
+    buffer.rewards.push_back(step.reward);
+    buffer.values.push_back(value);
+
+    obs = std::move(step.observation);
+    done = step.done;
+  }
+  return buffer;
+}
+
+double PpoTrainer::run_episode(Env& env, util::Rng& rng, bool greedy) const {
+  std::vector<float> obs = env.reset(rng);
+  Mlp::Workspace ws;
+  double total = 0.0;
+  bool done = false;
+  while (!done) {
+    const util::BitVec mask = env.action_mask();
+    if (mask.none()) break;
+    const auto logits = policy_.forward(obs, ws);
+    const MaskedCategorical dist(logits, mask);
+    const std::uint32_t action = greedy ? dist.argmax() : dist.sample(rng);
+    StepResult step = env.step(action);
+    total += step.reward;
+    obs = std::move(step.observation);
+    done = step.done;
+  }
+  return total;
+}
+
+PpoUpdateStats PpoTrainer::update() {
+  // ---- rollout collection (possibly across worker threads) ----------------
+  const std::size_t n_episodes = config_.episodes_per_update;
+  std::vector<EpisodeBuffer> episodes(n_episodes);
+
+  auto run_worker = [&](std::size_t w) {
+    for (std::size_t e = w; e < n_episodes; e += config_.n_workers)
+      episodes[e] = collect_episode(*envs_[w], worker_rngs_[1 + w]);
+  };
+  if (pool_) {
+    for (std::size_t w = 0; w < config_.n_workers; ++w)
+      pool_->submit([&run_worker, w] { run_worker(w); });
+    pool_->wait_idle();
+  } else {
+    run_worker(0);
+  }
+
+  // ---- advantage estimation ------------------------------------------------
+  PpoUpdateStats stats;
+  std::vector<const std::vector<float>*> all_obs;
+  std::vector<const util::BitVec*> all_masks;
+  std::vector<std::uint32_t> all_actions;
+  std::vector<float> all_old_logp;
+  std::vector<float> all_adv;
+  std::vector<float> all_ret;
+
+  for (const auto& ep : episodes) {
+    const std::size_t len = ep.rewards.size();
+    if (len == 0) continue;
+    stats.episodes++;
+    stats.mean_episode_length += static_cast<double>(len);
+    for (const float r : ep.rewards) stats.mean_episode_reward += r;
+
+    const GaeResult gae =
+        compute_gae(ep.rewards, ep.values, config_.gamma, config_.gae_lambda);
+    for (std::size_t t = 0; t < len; ++t) {
+      all_obs.push_back(&ep.observations[t]);
+      all_masks.push_back(&ep.masks[t]);
+      all_actions.push_back(ep.actions[t]);
+      all_old_logp.push_back(ep.log_probs[t]);
+      all_adv.push_back(gae.advantages[t]);
+      all_ret.push_back(gae.returns[t]);
+    }
+  }
+  const std::size_t n = all_actions.size();
+  stats.steps = n;
+  total_steps_ += n;
+  total_episodes_ += stats.episodes;
+  if (stats.episodes > 0) {
+    stats.mean_episode_reward /= static_cast<double>(stats.episodes);
+    stats.mean_episode_length /= static_cast<double>(stats.episodes);
+  }
+  if (n == 0) return stats;
+
+  if (config_.normalize_advantages) normalize_advantages(all_adv);
+
+  // ---- optimization ---------------------------------------------------------
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+
+  Mlp::Workspace policy_ws;
+  Mlp::Workspace value_ws;
+  std::vector<float> logits_grad;
+  double sum_policy_loss = 0.0;
+  double sum_value_loss = 0.0;
+  double sum_entropy = 0.0;
+  std::size_t loss_samples = 0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    worker_rngs_[0].shuffle(order);
+    for (std::size_t start = 0; start < n; start += config_.minibatch_size) {
+      const std::size_t end = std::min(n, start + config_.minibatch_size);
+      const float inv_batch = 1.0f / static_cast<float>(end - start);
+      policy_.zero_grad();
+      value_.zero_grad();
+
+      for (std::size_t k = start; k < end; ++k) {
+        const std::uint32_t i = order[k];
+        const auto& obs = *all_obs[i];
+        const auto logits = policy_.forward(obs, policy_ws);
+        const MaskedCategorical dist(logits, *all_masks[i]);
+        const float new_logp = dist.log_prob(all_actions[i]);
+        const float ratio = std::exp(new_logp - all_old_logp[i]);
+        const float adv = all_adv[i];
+
+        const float unclipped = ratio * adv;
+        const float clipped =
+            std::clamp(ratio, 1.0f - config_.clip_ratio, 1.0f + config_.clip_ratio) *
+            adv;
+        sum_policy_loss += -std::min(unclipped, clipped);
+        sum_entropy += dist.entropy();
+
+        // Gradient of the clipped surrogate w.r.t. new_logp: zero when the
+        // clipped branch is active (it is constant in θ), −A·ratio otherwise.
+        const bool clip_active = clipped < unclipped;
+        const float g = clip_active ? 0.0f : -adv * ratio * inv_batch;
+        // Entropy bonus: loss term −c_eps·H ⇒ h = −c_eps (see add_grad docs).
+        const float h = -config_.entropy_coef * inv_batch;
+        logits_grad.assign(logits.size(), 0.0f);
+        dist.add_grad(all_actions[i], g, h, logits_grad);
+        policy_.backward(obs, policy_ws, logits_grad);
+
+        const float v = value_.forward(obs, value_ws)[0];
+        const float v_err = v - all_ret[i];
+        sum_value_loss += 0.5 * static_cast<double>(v_err) * v_err;
+        const float value_grad[1] = {config_.value_coef * v_err * inv_batch};
+        value_.backward(obs, value_ws, value_grad);
+
+        ++loss_samples;
+      }
+      policy_opt_.step(config_.max_grad_norm);
+      value_opt_.step(config_.max_grad_norm);
+    }
+  }
+
+  if (loss_samples > 0) {
+    stats.policy_loss = sum_policy_loss / static_cast<double>(loss_samples);
+    stats.value_loss = sum_value_loss / static_cast<double>(loss_samples);
+    stats.mean_entropy = sum_entropy / static_cast<double>(loss_samples);
+    stats.entropy_loss = -stats.mean_entropy;
+    stats.total_loss = stats.policy_loss + config_.entropy_coef * stats.entropy_loss +
+                       config_.value_coef * stats.value_loss;
+  }
+  return stats;
+}
+
+}  // namespace deterrent::rl

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "rl/adam.hpp"
+#include "rl/env.hpp"
+#include "rl/mlp.hpp"
+#include "util/thread_pool.hpp"
+
+namespace deterrent::rl {
+
+/// PPO hyperparameters. Defaults follow the common PPO recipe the paper
+/// starts from; §3.4's "boosted exploration" sets entropy_coef = 1.0 and
+/// gae_lambda = 0.99.
+struct PpoConfig {
+  float gamma = 0.99f;
+  float gae_lambda = 0.95f;
+  float clip_ratio = 0.2f;
+  float learning_rate = 3e-4f;
+  float entropy_coef = 0.0f;
+  float value_coef = 0.5f;
+  float max_grad_norm = 0.5f;
+  int epochs = 4;
+  std::size_t minibatch_size = 256;
+  std::size_t episodes_per_update = 16;
+  std::size_t hidden_size = 64;
+  std::size_t hidden_layers = 2;
+  /// Parallel rollout workers (vectorized environments). 1 = synchronous.
+  std::size_t n_workers = 1;
+  bool normalize_advantages = true;
+};
+
+/// Aggregate diagnostics of one update() call. The loss fields reproduce the
+/// decomposition of §3.4: total = policy + c_eps·entropy_loss + c_v·value,
+/// where entropy_loss = −entropy.
+struct PpoUpdateStats {
+  double mean_episode_reward = 0.0;
+  double mean_episode_length = 0.0;
+  double mean_entropy = 0.0;
+  double policy_loss = 0.0;
+  double value_loss = 0.0;
+  double entropy_loss = 0.0;
+  double total_loss = 0.0;
+  std::size_t steps = 0;
+  std::size_t episodes = 0;
+};
+
+/// Proximal Policy Optimization with clipped surrogate objective, separate
+/// policy/value networks, GAE, masked categorical actions, and multi-threaded
+/// rollout collection.
+class PpoTrainer {
+ public:
+  using EnvFactory = std::function<std::unique_ptr<Env>(std::size_t worker_index)>;
+
+  PpoTrainer(const EnvFactory& factory, const PpoConfig& config, std::uint64_t seed);
+  ~PpoTrainer();
+
+  /// Collects config.episodes_per_update episodes (split across workers) and
+  /// performs one PPO optimization phase.
+  PpoUpdateStats update();
+
+  /// Runs one episode with the current policy without learning;
+  /// `greedy` picks argmax actions instead of sampling. Returns total reward.
+  double run_episode(Env& env, util::Rng& rng, bool greedy = false) const;
+
+  const Mlp& policy() const { return policy_; }
+  const Mlp& value() const { return value_; }
+  std::uint64_t total_steps() const { return total_steps_; }
+  std::uint64_t total_episodes() const { return total_episodes_; }
+
+  /// The live rollout environments (one per worker) — lets callers read
+  /// implementation-specific statistics (e.g. SAT query counts) after training.
+  std::span<const std::unique_ptr<Env>> envs() const { return envs_; }
+
+ private:
+  struct EpisodeBuffer {
+    std::vector<std::vector<float>> observations;
+    std::vector<util::BitVec> masks;
+    std::vector<std::uint32_t> actions;
+    std::vector<float> log_probs;
+    std::vector<float> rewards;
+    std::vector<float> values;
+  };
+
+  EpisodeBuffer collect_episode(Env& env, util::Rng& rng) const;
+
+  PpoConfig config_;
+  std::vector<std::unique_ptr<Env>> envs_;  // one per worker
+  Mlp policy_;
+  Mlp value_;
+  Adam policy_opt_;
+  Adam value_opt_;
+  std::vector<util::Rng> worker_rngs_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::uint64_t total_steps_ = 0;
+  std::uint64_t total_episodes_ = 0;
+};
+
+}  // namespace deterrent::rl

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace deterrent::sat {
+
+/// A CNF formula in memory: variable count plus clause list. Used by the
+/// test-suite (random-formula fuzzing against a brute-force oracle) and for
+/// exporting compatibility queries for external inspection.
+struct Cnf {
+  std::size_t var_count = 0;
+  std::vector<Clause> clauses;
+};
+
+/// Parses DIMACS CNF ("p cnf <vars> <clauses>" + terminated clause lines).
+/// Comment lines (c ...) are skipped; malformed input throws deterrent::Error.
+Cnf read_dimacs(std::istream& in);
+Cnf read_dimacs_string(const std::string& text);
+
+void write_dimacs(const Cnf& cnf, std::ostream& out);
+std::string write_dimacs_string(const Cnf& cnf);
+
+}  // namespace deterrent::sat

@@ -1,0 +1,93 @@
+#include "sat/equivalence.hpp"
+
+#include "sat/encoder.hpp"
+#include "sat/solver.hpp"
+#include "util/assert.hpp"
+
+namespace deterrent::sat {
+
+using netlist::GateType;
+using netlist::NetId;
+
+EquivalenceResult check_equivalence(const netlist::Netlist& left,
+                                    const netlist::Netlist& right,
+                                    std::int64_t conflict_budget) {
+  if (left.inputs().size() != right.inputs().size())
+    throw Error("check_equivalence: input counts differ");
+  if (left.outputs().size() != right.outputs().size())
+    throw Error("check_equivalence: output counts differ");
+  if (left.is_sequential() || right.is_sequential())
+    throw Error("check_equivalence: combinational netlists required (use scan views)");
+
+  // Build the miter as a single netlist: both designs side by side, shared
+  // inputs, one XOR per output pair, and an OR over all XORs.
+  netlist::NetlistBuilder builder;
+  std::vector<NetId> shared_inputs;
+  shared_inputs.reserve(left.inputs().size());
+  for (std::size_t i = 0; i < left.inputs().size(); ++i)
+    shared_inputs.push_back(builder.add_input("mi" + std::to_string(i)));
+
+  auto instantiate = [&](const netlist::Netlist& nl) {
+    std::vector<NetId> map(nl.net_count(), netlist::kNoNet);
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i)
+      map[nl.inputs()[i]] = shared_inputs[i];
+    for (const NetId id : nl.topo_order()) {
+      if (nl.type(id) == GateType::Input) continue;
+      std::vector<NetId> fanins;
+      fanins.reserve(nl.fanins(id).size());
+      for (const NetId f : nl.fanins(id)) {
+        DETERRENT_ASSERT(map[f] != netlist::kNoNet, "miter: fanin not yet mapped");
+        fanins.push_back(map[f]);
+      }
+      map[id] = builder.add_gate(nl.type(id), std::move(fanins));
+    }
+    std::vector<NetId> outputs;
+    outputs.reserve(nl.outputs().size());
+    for (const NetId out : nl.outputs()) outputs.push_back(map[out]);
+    return outputs;
+  };
+
+  const auto left_outs = instantiate(left);
+  const auto right_outs = instantiate(right);
+
+  std::vector<NetId> diffs;
+  diffs.reserve(left_outs.size());
+  for (std::size_t o = 0; o < left_outs.size(); ++o)
+    diffs.push_back(builder.add_gate(GateType::Xor, {left_outs[o], right_outs[o]},
+                                     "diff" + std::to_string(o)));
+  const NetId any_diff =
+      diffs.size() == 1 ? diffs[0] : builder.add_gate(GateType::Or, diffs, "any_diff");
+  builder.mark_output(any_diff);
+  const netlist::Netlist miter = builder.build();
+
+  Solver solver;
+  encode_netlist(miter, solver);
+  const Lit force_diff[] = {mk_lit(any_diff)};
+  const auto verdict = solver.solve(force_diff, conflict_budget);
+
+  EquivalenceResult result;
+  if (verdict == Solver::Result::Unsat) {
+    result.equivalent = true;
+    return result;
+  }
+  if (verdict == Solver::Result::Unknown) {
+    // Budget exhausted: report "not proven equivalent" without a witness.
+    result.equivalent = false;
+    return result;
+  }
+
+  result.equivalent = false;
+  sim::Pattern counterexample(shared_inputs.size());
+  for (std::size_t i = 0; i < shared_inputs.size(); ++i)
+    counterexample.set(i, solver.model_value(shared_inputs[i]));
+  for (std::size_t o = 0; o < diffs.size(); ++o) {
+    if (solver.model_value(diffs[o])) {
+      result.differing_output = o;
+      break;
+    }
+  }
+  result.counterexample = std::move(counterexample);
+  return result;
+}
+
+}  // namespace deterrent::sat

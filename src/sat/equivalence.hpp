@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+
+#include "netlist/netlist.hpp"
+#include "sim/pattern.hpp"
+
+namespace deterrent::sat {
+
+/// Result of a combinational equivalence check between two netlists.
+struct EquivalenceResult {
+  bool equivalent = false;
+  /// When not equivalent: an input pattern on which some pair of
+  /// corresponding outputs differs (a counterexample / distinguishing test).
+  std::optional<sim::Pattern> counterexample;
+  /// Index (into outputs()) of the first differing output for the
+  /// counterexample, when present.
+  std::size_t differing_output = 0;
+};
+
+/// SAT-based combinational equivalence check via a miter: the two designs
+/// share primary inputs (paired positionally — they must agree in input
+/// count and output count), corresponding outputs feed XORs, and the solver
+/// searches for an input making any XOR fire.
+///
+/// This is how a defender proves an HT-infected design is NOT functionally
+/// identical to the golden one — and conversely how the Trojan tests verify
+/// that apply_trojan only diverges when the trigger fires (a width-w rare
+/// trigger makes the counterexample search itself solve the trigger
+/// activation problem, which is the paper's point about why HTs survive
+/// verification).
+EquivalenceResult check_equivalence(const netlist::Netlist& left,
+                                    const netlist::Netlist& right,
+                                    std::int64_t conflict_budget = -1);
+
+}  // namespace deterrent::sat

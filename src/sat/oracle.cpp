@@ -1,0 +1,50 @@
+#include "sat/oracle.hpp"
+
+#include "sat/encoder.hpp"
+#include "util/assert.hpp"
+
+namespace deterrent::sat {
+
+NetlistOracle::NetlistOracle(const netlist::Netlist& netlist) : netlist_(&netlist) {
+  encode_netlist(netlist, solver_);
+}
+
+std::vector<Lit> NetlistOracle::to_assumptions(
+    std::span<const Constraint> constraints) const {
+  std::vector<Lit> assumptions;
+  assumptions.reserve(constraints.size());
+  for (const auto& c : constraints) {
+    DETERRENT_ASSERT(c.net < netlist_->net_count(), "constraint on unknown net");
+    assumptions.push_back(mk_lit(c.net, /*negated=*/!c.value));
+  }
+  return assumptions;
+}
+
+bool NetlistOracle::satisfiable(std::span<const Constraint> constraints,
+                                std::int64_t conflict_budget) {
+  return try_satisfiable(constraints, conflict_budget).value_or(false);
+}
+
+std::optional<bool> NetlistOracle::try_satisfiable(
+    std::span<const Constraint> constraints, std::int64_t conflict_budget) {
+  const auto assumptions = to_assumptions(constraints);
+  switch (solver_.solve(assumptions, conflict_budget)) {
+    case Solver::Result::Sat: return true;
+    case Solver::Result::Unsat: return false;
+    case Solver::Result::Unknown: return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::Pattern> NetlistOracle::find_pattern(
+    std::span<const Constraint> constraints) {
+  const auto assumptions = to_assumptions(constraints);
+  if (solver_.solve(assumptions) != Solver::Result::Sat) return std::nullopt;
+  const auto inputs = netlist_->inputs();
+  sim::Pattern pattern(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    pattern.set(i, solver_.model_value(inputs[i]));
+  return pattern;
+}
+
+}  // namespace deterrent::sat

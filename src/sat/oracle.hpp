@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+#include "sim/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace deterrent::sat {
+
+/// A value requirement on a net: "net must evaluate to value". A set of rare
+/// nets at their rare values is expressed as one Constraint per net.
+struct Constraint {
+  netlist::NetId net;
+  bool value;
+
+  bool operator==(const Constraint&) const = default;
+};
+
+/// Incremental SAT front-end over one netlist.
+///
+/// Encodes the netlist once and answers many conjunction queries via
+/// assumptions, accumulating learnt clauses across queries — this is what
+/// makes the paper's offline pairwise phase and per-step compatibility checks
+/// affordable (§3.3, §5 "Feasibility of using a SAT solver").
+///
+/// Thread-compatibility: an oracle is NOT thread-safe; create one per thread
+/// (the compatibility-matrix builder does exactly that).
+class NetlistOracle {
+ public:
+  explicit NetlistOracle(const netlist::Netlist& netlist);
+
+  const netlist::Netlist& target() const { return *netlist_; }
+
+  /// Can all constraints hold simultaneously? `conflict_budget` bounds solver
+  /// effort (<0 = unlimited); an exhausted budget reports as incompatible via
+  /// Unknown → nullopt in try_satisfiable and false in satisfiable.
+  bool satisfiable(std::span<const Constraint> constraints,
+                   std::int64_t conflict_budget = -1);
+
+  /// Tri-state variant: nullopt when the conflict budget ran out.
+  std::optional<bool> try_satisfiable(std::span<const Constraint> constraints,
+                                      std::int64_t conflict_budget);
+
+  /// Finds an input pattern forcing all constraints, or nullopt if UNSAT.
+  /// Don't-care inputs take the solver's current phase; call
+  /// randomize_completion() between queries to diversify them.
+  std::optional<sim::Pattern> find_pattern(std::span<const Constraint> constraints);
+
+  /// Randomizes the solver's phase choices so subsequent find_pattern calls
+  /// fill unconstrained inputs differently.
+  void randomize_completion(util::Rng& rng) { solver_.randomize_phases(rng); }
+
+  std::uint64_t query_count() const { return solver_.stats().solves; }
+  const Solver::Stats& solver_stats() const { return solver_.stats(); }
+
+ private:
+  std::vector<Lit> to_assumptions(std::span<const Constraint> constraints) const;
+
+  const netlist::Netlist* netlist_;
+  Solver solver_;
+};
+
+}  // namespace deterrent::sat

@@ -1,0 +1,550 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace deterrent::sat {
+
+Solver::Solver() = default;
+
+float Solver::clause_activity(CRef c) const {
+  float a;
+  std::memcpy(&a, &arena_[c + 1], sizeof(float));
+  return a;
+}
+
+void Solver::set_clause_activity(CRef c, float a) {
+  std::memcpy(&arena_[c + 1], &a, sizeof(float));
+}
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::Undef);
+  polarity_.push_back(1);  // branch negative first, MiniSat default
+  activity_.push_back(0.0);
+  reason_.push_back(kCRefUndef);
+  level_.push_back(0);
+  seen_.push_back(0);
+  lbd_seen_.push_back(0);
+  heap_pos_.push_back(kNotInHeap);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+void Solver::ensure_vars(std::size_t n) {
+  while (assigns_.size() < n) new_var();
+}
+
+Solver::CRef Solver::alloc_clause(std::span<const Lit> lits, bool learnt) {
+  const CRef c = static_cast<CRef>(arena_.size());
+  arena_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
+                   (learnt ? 1u : 0u));
+  arena_.push_back(0);  // activity
+  arena_.push_back(0);  // lbd
+  for (Lit l : lits) arena_.push_back(l.x);
+  if (learnt) stats_.learnt_clauses++;
+  return c;
+}
+
+void Solver::mark_dead(CRef c) {
+  DETERRENT_ASSERT(!clause_dead(c), "clause already dead");
+  dead_words_ += kHeaderWords + clause_size(c);
+  arena_[c] |= 2u;
+}
+
+void Solver::attach_clause(CRef c) {
+  const Lit* lits = clause_lits(c);
+  DETERRENT_ASSERT(clause_size(c) >= 2, "attaching a short clause");
+  watches_[(~lits[0]).x].push_back({c, lits[1]});
+  watches_[(~lits[1]).x].push_back({c, lits[0]});
+}
+
+bool Solver::add_clause(std::span<const Lit> lits_in) {
+  DETERRENT_ASSERT(decision_level() == 0, "add_clause requires root level");
+  if (!ok_) return false;
+
+  std::vector<Lit> lits(lits_in.begin(), lits_in.end());
+  std::sort(lits.begin(), lits.end(), [](Lit a, Lit b) { return a.x < b.x; });
+
+  // Dedup, drop root-false literals, detect tautologies and root-true lits.
+  std::size_t j = 0;
+  Lit prev = kUndefLit;
+  for (Lit l : lits) {
+    DETERRENT_ASSERT(var_of(l) < var_count(), "literal references unknown variable");
+    if (l == prev) continue;
+    if (prev != kUndefLit && l == ~prev) return true;  // tautology: p ∨ ¬p
+    const LBool v = value(l);
+    if (v == LBool::True) return true;  // satisfied at root
+    if (v == LBool::False) {
+      prev = l;
+      continue;  // drop root-false literal
+    }
+    lits[j++] = l;
+    prev = l;
+  }
+  lits.resize(j);
+
+  if (lits.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (lits.size() == 1) {
+    unchecked_enqueue(lits[0], kCRefUndef);
+    if (propagate() != kCRefUndef) ok_ = false;
+    return ok_;
+  }
+  const CRef c = alloc_clause(lits, false);
+  clauses_.push_back(c);
+  attach_clause(c);
+  return true;
+}
+
+void Solver::unchecked_enqueue(Lit p, CRef from) {
+  const Var v = var_of(p);
+  DETERRENT_ASSERT(value(v) == LBool::Undef, "enqueue on assigned var");
+  assigns_[v] = lbool_from(!sign_of(p));
+  level_[v] = decision_level();
+  reason_[v] = from;
+  trail_.push_back(p);
+}
+
+void Solver::cancel_until(std::uint32_t level) {
+  if (decision_level() <= level) return;
+  for (std::size_t c = trail_.size(); c-- > trail_lim_[level];) {
+    const Var x = var_of(trail_[c]);
+    assigns_[x] = LBool::Undef;
+    polarity_[x] = sign_of(trail_[c]);  // phase saving
+    if (heap_pos_[x] == kNotInHeap) heap_insert(x);
+  }
+  qhead_ = trail_lim_[level];
+  trail_.resize(trail_lim_[level]);
+  trail_lim_.resize(level);
+}
+
+Solver::CRef Solver::propagate() {
+  CRef confl = kCRefUndef;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p became true; check clauses watching ~p
+    stats_.propagations++;
+    auto& ws = watches_[p.x];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      if (clause_dead(w.cref)) {
+        ++i;  // lazily drop watchers of reduced clauses
+        continue;
+      }
+      if (value(w.blocker) == LBool::True) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      const CRef c = w.cref;
+      Lit* lits = clause_lits(c);
+      const std::uint32_t size = clause_size(c);
+      const Lit false_lit = ~p;
+      if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+      DETERRENT_ASSERT(lits[1] == false_lit, "watch invariant violated");
+      ++i;
+
+      const Lit first = lits[0];
+      if (first != w.blocker && value(first) == LBool::True) {
+        ws[j++] = {c, first};
+        continue;
+      }
+      bool found_watch = false;
+      for (std::uint32_t k = 2; k < size; ++k) {
+        if (value(lits[k]) != LBool::False) {
+          std::swap(lits[1], lits[k]);
+          watches_[(~lits[1]).x].push_back({c, first});
+          found_watch = true;
+          break;
+        }
+      }
+      if (found_watch) continue;
+
+      // Clause is unit under the current assignment, or conflicting.
+      ws[j++] = {c, first};
+      if (value(first) == LBool::False) {
+        confl = c;
+        qhead_ = trail_.size();
+        while (i < ws.size()) ws[j++] = ws[i++];
+      } else {
+        unchecked_enqueue(first, c);
+      }
+    }
+    ws.resize(j);
+  }
+  return confl;
+}
+
+void Solver::analyze(CRef confl, std::vector<Lit>& out_learnt,
+                     std::uint32_t& out_btlevel, std::uint32_t& out_lbd) {
+  int path_count = 0;
+  Lit p = kUndefLit;
+  out_learnt.clear();
+  out_learnt.push_back(kUndefLit);  // slot for the asserting literal
+  std::size_t index = trail_.size() - 1;
+
+  do {
+    DETERRENT_ASSERT(confl != kCRefUndef, "analyze without reason");
+    clause_bump(confl);
+    const Lit* lits = clause_lits(confl);
+    const std::uint32_t size = clause_size(confl);
+    for (std::uint32_t k = (p == kUndefLit ? 0 : 1); k < size; ++k) {
+      const Lit q = lits[k];
+      const Var v = var_of(q);
+      if (!seen_[v] && level_[v] > 0) {
+        var_bump(v);
+        seen_[v] = 1;
+        if (level_[v] >= decision_level())
+          ++path_count;
+        else
+          out_learnt.push_back(q);
+      }
+    }
+    while (!seen_[var_of(trail_[index--])]) {
+    }
+    p = trail_[index + 1];
+    confl = reason_[var_of(p)];
+    seen_[var_of(p)] = 0;
+    --path_count;
+  } while (path_count > 0);
+  out_learnt[0] = ~p;
+
+  // Local minimization: a literal is redundant when its entire reason clause
+  // is already implied by the rest of the learnt clause (all antecedents seen
+  // or fixed at root level).
+  std::vector<Lit> to_clear(out_learnt.begin(), out_learnt.end());
+  std::size_t j = 1;
+  for (std::size_t i = 1; i < out_learnt.size(); ++i) {
+    const Var v = var_of(out_learnt[i]);
+    const CRef r = reason_[v];
+    bool redundant = false;
+    if (r != kCRefUndef) {
+      redundant = true;
+      const Lit* rl = clause_lits(r);
+      const std::uint32_t rs = clause_size(r);
+      for (std::uint32_t k = 1; k < rs; ++k) {
+        const Var rv = var_of(rl[k]);
+        if (!seen_[rv] && level_[rv] > 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) out_learnt[j++] = out_learnt[i];
+  }
+  out_learnt.resize(j);
+
+  // Backtrack level: second-highest decision level in the clause.
+  if (out_learnt.size() == 1) {
+    out_btlevel = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < out_learnt.size(); ++i)
+      if (level_[var_of(out_learnt[i])] > level_[var_of(out_learnt[max_i])]) max_i = i;
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level_[var_of(out_learnt[1])];
+  }
+
+  // LBD = number of distinct decision levels among the learnt literals.
+  ++lbd_stamp_;
+  out_lbd = 0;
+  for (Lit l : out_learnt) {
+    const std::uint32_t lvl = level_[var_of(l)];
+    if (lvl > 0 && lbd_seen_[lvl % lbd_seen_.size()] != lbd_stamp_) {
+      lbd_seen_[lvl % lbd_seen_.size()] = lbd_stamp_;
+      ++out_lbd;
+    }
+  }
+
+  for (Lit l : to_clear) seen_[var_of(l)] = 0;
+}
+
+void Solver::analyze_final(Lit p) {
+  conflict_core_.clear();
+  conflict_core_.push_back(p);
+  if (decision_level() == 0) return;
+
+  seen_[var_of(p)] = 1;
+  for (std::size_t i = trail_.size(); i-- > trail_lim_[0];) {
+    const Var x = var_of(trail_[i]);
+    if (!seen_[x]) continue;
+    if (reason_[x] == kCRefUndef) {
+      // A decision below an assumption level is always an assumption literal.
+      conflict_core_.push_back(trail_[i]);
+    } else {
+      const Lit* lits = clause_lits(reason_[x]);
+      const std::uint32_t size = clause_size(reason_[x]);
+      for (std::uint32_t k = 1; k < size; ++k)
+        if (level_[var_of(lits[k])] > 0) seen_[var_of(lits[k])] = 1;
+    }
+    seen_[x] = 0;
+  }
+  seen_[var_of(p)] = 0;
+}
+
+Lit Solver::pick_branch_lit() {
+  while (!heap_empty()) {
+    const Var v = heap_pop();
+    if (value(v) == LBool::Undef) return mk_lit(v, polarity_[v] != 0);
+  }
+  return kUndefLit;
+}
+
+Solver::Result Solver::search(std::int64_t max_conflicts,
+                              std::span<const Lit> assumptions) {
+  std::int64_t conflict_count = 0;
+  std::vector<Lit> learnt;
+
+  for (;;) {
+    const CRef confl = propagate();
+    if (confl != kCRefUndef) {
+      stats_.conflicts++;
+      ++conflict_count;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return Result::Unsat;
+      }
+      std::uint32_t btlevel = 0;
+      std::uint32_t lbd = 0;
+      analyze(confl, learnt, btlevel, lbd);
+      cancel_until(btlevel);
+      if (learnt.size() == 1) {
+        unchecked_enqueue(learnt[0], kCRefUndef);
+      } else {
+        const CRef cr = alloc_clause(learnt, true);
+        learnts_.push_back(cr);
+        set_clause_lbd(cr, lbd);
+        attach_clause(cr);
+        clause_bump(cr);
+        unchecked_enqueue(learnt[0], cr);
+      }
+      var_decay();
+      clause_decay();
+    } else {
+      if (max_conflicts >= 0 && conflict_count >= max_conflicts) {
+        stats_.restarts++;
+        cancel_until(0);
+        return Result::Unknown;
+      }
+      if (static_cast<double>(learnts_.size()) >= max_learnts_) {
+        reduce_learnts();
+        max_learnts_ *= 1.3;
+      }
+
+      Lit next = kUndefLit;
+      while (decision_level() < assumptions.size()) {
+        const Lit a = assumptions[decision_level()];
+        if (value(a) == LBool::True) {
+          new_decision_level();  // already implied; dedicate an empty level
+        } else if (value(a) == LBool::False) {
+          analyze_final(a);
+          return Result::Unsat;
+        } else {
+          next = a;
+          break;
+        }
+      }
+      if (next == kUndefLit) {
+        next = pick_branch_lit();
+        if (next == kUndefLit) return Result::Sat;  // all variables assigned
+        stats_.decisions++;
+      }
+      new_decision_level();
+      unchecked_enqueue(next, kCRefUndef);
+    }
+  }
+}
+
+Solver::Result Solver::solve(std::span<const Lit> assumptions,
+                             std::int64_t conflict_budget) {
+  stats_.solves++;
+  conflict_core_.clear();
+  if (!ok_) return Result::Unsat;
+  for ([[maybe_unused]] Lit a : assumptions)
+    DETERRENT_ASSERT(var_of(a) < var_count(), "assumption references unknown variable");
+
+  if (max_learnts_ == 0.0)
+    max_learnts_ = std::max(4000.0, static_cast<double>(clauses_.size()) * 0.4);
+
+  const std::uint64_t conflicts_start = stats_.conflicts;
+  Result status = Result::Unknown;
+  for (std::uint64_t restart = 0; status == Result::Unknown; ++restart) {
+    std::int64_t limit =
+        static_cast<std::int64_t>(luby(2.0, restart) * kRestartFirst);
+    if (conflict_budget >= 0) {
+      const auto spent =
+          static_cast<std::int64_t>(stats_.conflicts - conflicts_start);
+      if (spent >= conflict_budget) break;  // give up: Unknown
+      limit = std::min(limit, conflict_budget - spent);
+    }
+    status = search(limit, assumptions);
+  }
+
+  if (status == Result::Sat) model_.assign(assigns_.begin(), assigns_.end());
+  cancel_until(0);
+  return status;
+}
+
+void Solver::reduce_learnts() {
+  std::vector<CRef> candidates;
+  candidates.reserve(learnts_.size());
+  for (const CRef c : learnts_) {
+    if (clause_dead(c)) continue;
+    const Lit first = clause_lits(c)[0];
+    const bool locked =
+        reason_[var_of(first)] == c && value(first) == LBool::True;
+    if (!locked && clause_lbd(c) > 2 && clause_size(c) > 2) candidates.push_back(c);
+  }
+  std::sort(candidates.begin(), candidates.end(), [this](CRef a, CRef b) {
+    return clause_activity(a) < clause_activity(b);
+  });
+  for (std::size_t i = 0; i < candidates.size() / 2; ++i) mark_dead(candidates[i]);
+
+  learnts_.erase(std::remove_if(learnts_.begin(), learnts_.end(),
+                                [this](CRef c) { return clause_dead(c); }),
+                 learnts_.end());
+
+  if (dead_words_ * 3 > arena_.size()) compact_arena();
+}
+
+void Solver::compact_arena() {
+  std::vector<std::uint32_t> new_arena;
+  new_arena.reserve(arena_.size() - dead_words_);
+  std::unordered_map<CRef, CRef> reloc;
+  reloc.reserve(clauses_.size() + learnts_.size());
+
+  auto move_list = [&](std::vector<CRef>& list) {
+    std::size_t j = 0;
+    for (const CRef c : list) {
+      if (clause_dead(c)) continue;
+      const CRef nc = static_cast<CRef>(new_arena.size());
+      const std::uint32_t words = kHeaderWords + clause_size(c);
+      for (std::uint32_t k = 0; k < words; ++k) new_arena.push_back(arena_[c + k]);
+      reloc.emplace(c, nc);
+      list[j++] = nc;
+    }
+    list.resize(j);
+  };
+  move_list(clauses_);
+  move_list(learnts_);
+  arena_ = std::move(new_arena);
+  dead_words_ = 0;
+
+  // Reasons are meaningful only for assigned variables; stale entries may
+  // reference reduced clauses, so rebuild from the trail.
+  std::vector<CRef> new_reason(reason_.size(), kCRefUndef);
+  for (const Lit p : trail_) {
+    const Var v = var_of(p);
+    if (reason_[v] != kCRefUndef) new_reason[v] = reloc.at(reason_[v]);
+  }
+  reason_ = std::move(new_reason);
+
+  for (auto& ws : watches_) ws.clear();
+  for (const CRef c : clauses_) attach_clause(c);
+  for (const CRef c : learnts_) attach_clause(c);
+}
+
+void Solver::var_bump(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  heap_update(v);
+}
+
+void Solver::clause_bump(CRef c) {
+  if (!clause_learnt(c)) return;
+  float act = clause_activity(c) + static_cast<float>(cla_inc_);
+  if (act > 1e20f) {
+    for (const CRef lc : learnts_)
+      set_clause_activity(lc, clause_activity(lc) * 1e-20f);
+    cla_inc_ *= 1e-20;
+    act = clause_activity(c) + static_cast<float>(cla_inc_);
+  }
+  set_clause_activity(c, act);
+}
+
+void Solver::heap_insert(Var v) {
+  if (heap_pos_[v] != kNotInHeap) return;
+  heap_pos_[v] = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Solver::heap_update(Var v) {
+  if (heap_pos_[v] != kNotInHeap) heap_sift_up(heap_pos_[v]);
+}
+
+Var Solver::heap_pop() {
+  DETERRENT_ASSERT(!heap_.empty(), "heap_pop on empty heap");
+  const Var top = heap_[0];
+  heap_pos_[top] = kNotInHeap;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_lt(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+void Solver::heap_sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && heap_lt(heap_[child + 1], heap_[child])) ++child;
+    if (!heap_lt(heap_[child], v)) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+void Solver::randomize_phases(util::Rng& rng) {
+  for (auto& p : polarity_) p = rng.bernoulli(0.5) ? 1 : 0;
+}
+
+double Solver::luby(double y, std::uint64_t x) {
+  // Find the finite subsequence containing index x and its position within.
+  std::uint64_t size = 1;
+  std::uint64_t seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x = x % size;
+  }
+  return std::pow(y, static_cast<double>(seq));
+}
+
+}  // namespace deterrent::sat

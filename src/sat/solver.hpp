@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/types.hpp"
+#include "util/rng.hpp"
+
+namespace deterrent::sat {
+
+/// Conflict-driven clause-learning SAT solver.
+///
+/// A from-scratch MiniSat-style engine standing in for the pycosat/PicoSAT
+/// solver the paper uses (§4.1): two-literal watching, EVSIDS branching with
+/// phase saving, first-UIP learning with local minimization, LBD-aware
+/// learnt-clause reduction with arena compaction, Luby restarts, and an
+/// assumptions interface for incremental queries. The compatibility oracle
+/// keeps one Solver per netlist and issues thousands of assumption-based
+/// solves against it, accumulating learnt clauses across queries.
+class Solver {
+ public:
+  enum class Result { Sat, Unsat, Unknown };
+
+  struct Stats {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learnt_clauses = 0;
+    std::uint64_t solves = 0;
+  };
+
+  Solver();
+
+  /// Creates a fresh unassigned variable.
+  Var new_var();
+
+  /// Guarantees variables [0, n) exist.
+  void ensure_vars(std::size_t n);
+
+  std::size_t var_count() const { return assigns_.size(); }
+
+  /// Adds a clause (empty span ⇒ immediate UNSAT). Returns false when the
+  /// formula is already unsatisfiable at root level.
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  /// Solves under the given assumptions. `conflict_budget < 0` means no limit;
+  /// otherwise the solver gives up with Result::Unknown after that many
+  /// conflicts (used to bound pathological compatibility queries).
+  Result solve(std::span<const Lit> assumptions = {}, std::int64_t conflict_budget = -1);
+
+  /// Model access, valid after the last solve() returned Sat.
+  bool model_value(Var v) const { return model_[v] == LBool::True; }
+  LBool model_lbool(Var v) const { return model_[v]; }
+
+  /// After Unsat under assumptions: a subset of the assumptions that is
+  /// already contradictory (the "failed assumptions" / unsat core).
+  const std::vector<Lit>& conflict_core() const { return conflict_core_; }
+
+  /// Randomizes saved phases; subsequent models differ across equivalent
+  /// solves, which diversifies don't-care filling in generated test patterns.
+  void randomize_phases(util::Rng& rng);
+
+  /// False once the clause database is contradictory regardless of assumptions.
+  bool okay() const { return ok_; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // --- clause arena ------------------------------------------------------
+  using CRef = std::uint32_t;
+  static constexpr CRef kCRefUndef = 0xffffffffu;
+
+  // Layout per clause at offset c in arena_:
+  //   arena_[c]   : header = (size << 2) | (dead << 1) | learnt
+  //   arena_[c+1] : float activity (bit-cast)
+  //   arena_[c+2] : LBD (learnt) / unused
+  //   arena_[c+3 ...] : literals
+  static constexpr std::uint32_t kHeaderWords = 3;
+
+  std::uint32_t clause_size(CRef c) const { return arena_[c] >> 2; }
+  bool clause_learnt(CRef c) const { return arena_[c] & 1u; }
+  bool clause_dead(CRef c) const { return arena_[c] & 2u; }
+  Lit* clause_lits(CRef c) { return reinterpret_cast<Lit*>(&arena_[c + kHeaderWords]); }
+  const Lit* clause_lits(CRef c) const {
+    return reinterpret_cast<const Lit*>(&arena_[c + kHeaderWords]);
+  }
+  float clause_activity(CRef c) const;
+  void set_clause_activity(CRef c, float a);
+  std::uint32_t clause_lbd(CRef c) const { return arena_[c + 2]; }
+  void set_clause_lbd(CRef c, std::uint32_t lbd) { arena_[c + 2] = lbd; }
+
+  CRef alloc_clause(std::span<const Lit> lits, bool learnt);
+  void mark_dead(CRef c);
+  void compact_arena();
+
+  // --- assignment / trail -------------------------------------------------
+  LBool value(Var v) const { return assigns_[v]; }
+  LBool value(Lit p) const { return lit_value(assigns_[var_of(p)], p); }
+  std::uint32_t decision_level() const {
+    return static_cast<std::uint32_t>(trail_lim_.size());
+  }
+  void new_decision_level() { trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size())); }
+  void unchecked_enqueue(Lit p, CRef from);
+  void cancel_until(std::uint32_t level);
+
+  // --- search -------------------------------------------------------------
+  CRef propagate();
+  void attach_clause(CRef c);
+  void analyze(CRef confl, std::vector<Lit>& out_learnt, std::uint32_t& out_btlevel,
+               std::uint32_t& out_lbd);
+  bool literal_redundant(Lit p);
+  void analyze_final(Lit p);
+  Lit pick_branch_lit();
+  Result search(std::int64_t max_conflicts, std::span<const Lit> assumptions);
+  void reduce_learnts();
+
+  // --- VSIDS ---------------------------------------------------------------
+  void var_bump(Var v);
+  void var_decay() { var_inc_ /= kVarDecay; }
+  void clause_bump(CRef c);
+  void clause_decay() { cla_inc_ /= kClauseDecay; }
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  bool heap_lt(Var a, Var b) const { return activity_[a] > activity_[b]; }
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+
+  static double luby(double y, std::uint64_t i);
+
+  static constexpr double kVarDecay = 0.95;
+  static constexpr double kClauseDecay = 0.999;
+  static constexpr std::uint32_t kRestartFirst = 100;
+
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
+
+  std::vector<std::uint32_t> arena_;
+  std::vector<CRef> clauses_;  // problem clauses
+  std::vector<CRef> learnts_;
+  std::uint64_t dead_words_ = 0;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit.x
+  std::vector<LBool> assigns_;
+  std::vector<std::uint8_t> polarity_;  // saved phase: 1 ⇒ branch negative
+  std::vector<double> activity_;
+  std::vector<CRef> reason_;
+  std::vector<std::uint32_t> level_;
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<Var> heap_;           // binary max-heap of decision candidates
+  std::vector<std::uint32_t> heap_pos_;  // var → heap index, or npos
+  static constexpr std::uint32_t kNotInHeap = 0xffffffffu;
+
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<std::uint32_t> lbd_seen_;
+  std::uint32_t lbd_stamp_ = 0;
+
+  std::vector<LBool> model_;
+  std::vector<Lit> conflict_core_;
+
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  double max_learnts_ = 0.0;
+  bool ok_ = true;
+  Stats stats_;
+};
+
+}  // namespace deterrent::sat

@@ -1,0 +1,111 @@
+#include "sim/probability.hpp"
+
+#include <bit>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace deterrent::sim {
+
+using netlist::NetId;
+
+namespace {
+
+void accumulate_block(std::span<const std::uint64_t> values, std::uint64_t valid_mask,
+                      std::vector<std::size_t>& ones) {
+  for (std::size_t net = 0; net < values.size(); ++net)
+    ones[net] += static_cast<std::size_t>(std::popcount(values[net] & valid_mask));
+}
+
+}  // namespace
+
+SignalStats estimate_signal_stats(const netlist::Netlist& netlist,
+                                  std::size_t pattern_count, util::Rng& rng,
+                                  util::ThreadPool* pool) {
+  SignalStats stats;
+  stats.pattern_count = pattern_count;
+  stats.ones.assign(netlist.net_count(), 0);
+  if (pattern_count == 0) return stats;
+
+  const std::size_t n_blocks = (pattern_count + 63) / 64;
+  const std::size_t n_inputs = netlist.inputs().size();
+  const std::uint64_t tail_mask =
+      pattern_count % 64 == 0 ? ~0ULL : (~0ULL >> (64 - pattern_count % 64));
+
+  // Pre-draw one RNG seed per block so the result is independent of the
+  // execution schedule (threaded or not).
+  std::vector<std::uint64_t> block_seeds(n_blocks);
+  for (auto& seed : block_seeds) seed = rng.next_word();
+
+  auto run_range = [&](std::vector<std::size_t>& local_ones, std::size_t begin,
+                       std::size_t end) {
+    Simulator simulator(netlist);
+    std::vector<std::uint64_t> input_words(n_inputs);
+    for (std::size_t b = begin; b < end; ++b) {
+      util::Rng block_rng(block_seeds[b]);
+      for (auto& w : input_words) w = block_rng.next_word();
+      auto values = simulator.simulate_block(input_words);
+      accumulate_block(values, b + 1 == n_blocks ? tail_mask : ~0ULL, local_ones);
+    }
+  };
+
+  if (pool == nullptr || pool->thread_count() <= 1 || n_blocks < 4) {
+    run_range(stats.ones, 0, n_blocks);
+    return stats;
+  }
+
+  std::vector<std::vector<std::size_t>> partial(pool->thread_count());
+  pool->parallel_chunks(n_blocks, [&](std::size_t thread, std::size_t begin,
+                                      std::size_t end) {
+    auto& local = partial[thread];
+    if (local.empty()) local.assign(netlist.net_count(), 0);
+    run_range(local, begin, end);
+  });
+  for (const auto& local : partial) {
+    if (local.empty()) continue;
+    for (std::size_t net = 0; net < stats.ones.size(); ++net)
+      stats.ones[net] += local[net];
+  }
+  return stats;
+}
+
+SignalStats signal_stats_for_patterns(const netlist::Netlist& netlist,
+                                      const PatternSet& patterns) {
+  SignalStats stats;
+  stats.pattern_count = patterns.pattern_count();
+  stats.ones.assign(netlist.net_count(), 0);
+  Simulator simulator(netlist);
+  simulator.simulate(patterns, [&](std::size_t, std::uint64_t valid_mask,
+                                   std::span<const std::uint64_t> values) {
+    accumulate_block(values, valid_mask, stats.ones);
+  });
+  return stats;
+}
+
+SignalStats exact_signal_stats(const netlist::Netlist& netlist) {
+  const std::size_t n_inputs = netlist.inputs().size();
+  DETERRENT_ASSERT(n_inputs <= 24, "exact_signal_stats: too many inputs to enumerate");
+  const std::size_t total = std::size_t{1} << n_inputs;
+
+  SignalStats stats;
+  stats.pattern_count = total;
+  stats.ones.assign(netlist.net_count(), 0);
+
+  Simulator simulator(netlist);
+  std::vector<std::uint64_t> input_words(n_inputs);
+  for (std::size_t base = 0; base < total; base += 64) {
+    const std::size_t lanes = std::min<std::size_t>(64, total - base);
+    for (std::size_t i = 0; i < n_inputs; ++i) {
+      std::uint64_t w = 0;
+      for (std::size_t lane = 0; lane < lanes; ++lane)
+        if (((base + lane) >> i) & 1ULL) w |= (1ULL << lane);
+      input_words[i] = w;
+    }
+    const std::uint64_t mask = lanes == 64 ? ~0ULL : ((1ULL << lanes) - 1);
+    auto values = simulator.simulate_block(input_words);
+    accumulate_block(values, mask, stats.ones);
+  }
+  return stats;
+}
+
+}  // namespace deterrent::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+#include "netlist/scan.hpp"
+#include "sim/pattern.hpp"
+#include "sim/simulator.hpp"
+
+namespace deterrent::sim {
+
+/// Cycle-accurate simulator for sequential netlists (no scan assumption):
+/// holds flip-flop state across clock edges. Used to actually *execute*
+/// workloads on generated designs — e.g. running programs on the MIPS16-like
+/// processor — complementing the single-cycle combinational engine the
+/// DETERRENT pipeline uses under full scan.
+class SequentialSimulator {
+ public:
+  explicit SequentialSimulator(const netlist::Netlist& netlist);
+
+  const netlist::Netlist& target() const { return *netlist_; }
+
+  /// Sets every flip-flop to `value`.
+  void reset(bool value = false);
+
+  /// Direct state access by the DFF's Q-output net id.
+  void set_state(netlist::NetId q, bool value);
+  bool state(netlist::NetId q) const;
+
+  /// Applies one cycle: evaluates combinational logic under `inputs`
+  /// (primary inputs only, Netlist::inputs() order of the original design),
+  /// returns all net values for this cycle, then clocks Q <= D.
+  /// The returned reference stays valid until the next step()/reset().
+  const std::vector<bool>& step(const Pattern& inputs);
+
+  /// Values of the most recent step (pre-clock-edge), indexed by NetId.
+  const std::vector<bool>& values() const { return values_; }
+
+  std::uint64_t cycle_count() const { return cycles_; }
+
+ private:
+  const netlist::Netlist* netlist_;
+  netlist::ScanView scan_;
+  Simulator comb_sim_;
+  std::vector<bool> state_;   // per DFF, parallel to scan_.pseudo_inputs
+  std::vector<bool> values_;  // last cycle's full net values
+  std::uint64_t cycles_ = 0;
+};
+
+}  // namespace deterrent::sim

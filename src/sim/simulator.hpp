@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/pattern.hpp"
+
+namespace deterrent::sim {
+
+/// Levelized bit-parallel logic simulator: evaluates 64 patterns per pass in
+/// one machine word per net. This is the library's stand-in for commercial
+/// logic simulation (the paper uses Synopsys VCS) and the engine behind
+/// rare-net discovery, compatibility pre-filtering, and coverage evaluation.
+///
+/// The netlist must be combinational (apply netlist::make_full_scan to
+/// sequential designs first — the standard full-scan assumption of §4.1).
+class Simulator {
+ public:
+  explicit Simulator(const netlist::Netlist& netlist);
+
+  const netlist::Netlist& target() const { return *netlist_; }
+
+  /// Evaluates one block of 64 patterns. `input_words[i]` carries the 64
+  /// values of primary input i (bit b = pattern b). Returns one word per net,
+  /// indexed by NetId; the span stays valid until the next simulate call.
+  std::span<const std::uint64_t> simulate_block(std::span<const std::uint64_t> input_words);
+
+  /// Runs a whole pattern set block by block. The sink receives the block
+  /// index, the lane-validity mask (only bits set in it correspond to real
+  /// patterns), and per-net value words.
+  void simulate(const PatternSet& patterns,
+                const std::function<void(std::size_t block, std::uint64_t valid_mask,
+                                         std::span<const std::uint64_t> values)>& sink);
+
+  /// Single-pattern convenience (used for pattern inspection and SAT model
+  /// cross-checks); returns one bool per net.
+  std::vector<bool> simulate_pattern(const Pattern& pattern);
+
+ private:
+  const netlist::Netlist* netlist_;
+  std::vector<std::uint64_t> values_;   // word per net
+  std::vector<std::uint64_t> scratch_;  // gathered fanin words
+};
+
+/// Naive recursive-free scalar evaluation over the topological order; the
+/// reference oracle the test suite checks the bit-parallel engine against.
+std::vector<bool> evaluate_naive(const netlist::Netlist& netlist,
+                                 const std::vector<bool>& input_values);
+
+}  // namespace deterrent::sim

@@ -1,0 +1,52 @@
+#include "trojan/coverage.hpp"
+
+#include <bit>
+
+#include "sim/simulator.hpp"
+
+namespace deterrent::trojan {
+
+double CoverageResult::coverage_percent_at(std::size_t n_patterns) const {
+  if (total == 0) return 0.0;
+  std::size_t hit = 0;
+  for (const std::size_t first : first_activation)
+    if (first != kNever && first < n_patterns) ++hit;
+  return 100.0 * static_cast<double>(hit) / static_cast<double>(total);
+}
+
+CoverageResult evaluate_coverage(const netlist::Netlist& golden,
+                                 std::span<const Trojan> trojans,
+                                 const sim::PatternSet& patterns) {
+  CoverageResult result;
+  result.total = trojans.size();
+  result.first_activation.assign(trojans.size(), CoverageResult::kNever);
+  if (trojans.empty() || patterns.empty()) return result;
+
+  sim::Simulator simulator(golden);
+  std::size_t remaining = trojans.size();
+  simulator.simulate(patterns, [&](std::size_t block, std::uint64_t valid_mask,
+                                   std::span<const std::uint64_t> values) {
+    if (remaining == 0) return;
+    for (std::size_t t = 0; t < trojans.size(); ++t) {
+      if (result.first_activation[t] != CoverageResult::kNever) continue;
+      std::uint64_t fired = valid_mask;
+      for (const auto& rn : trojans[t].trigger) {
+        const std::uint64_t at_rare =
+            rn.rare_value ? values[rn.net] : ~values[rn.net];
+        fired &= at_rare;
+        if (fired == 0) break;
+      }
+      if (fired != 0) {
+        const int lane = std::countr_zero(fired);
+        result.first_activation[t] = block * 64 + static_cast<std::size_t>(lane);
+        --remaining;
+      }
+    }
+  });
+
+  for (const std::size_t first : result.first_activation)
+    if (first != CoverageResult::kNever) ++result.covered;
+  return result;
+}
+
+}  // namespace deterrent::trojan

@@ -1,0 +1,78 @@
+#include "trojan/side_channel.hpp"
+
+#include <cmath>
+
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace deterrent::trojan {
+
+std::vector<std::size_t> switching_activity(const netlist::Netlist& netlist,
+                                            const sim::PatternSet& patterns) {
+  sim::Simulator simulator(netlist);
+  std::vector<std::size_t> toggles;
+  toggles.reserve(patterns.pattern_count());
+  std::vector<bool> previous(netlist.net_count(), false);
+  for (std::size_t p = 0; p < patterns.pattern_count(); ++p) {
+    const auto values = simulator.simulate_pattern(patterns.pattern(p));
+    std::size_t count = 0;
+    for (std::size_t net = 0; net < values.size(); ++net)
+      count += values[net] != previous[net];
+    toggles.push_back(count);
+    previous = values;
+  }
+  return toggles;
+}
+
+SideChannelReport side_channel_report(const netlist::Netlist& golden,
+                                      const Trojan& trojan,
+                                      const sim::PatternSet& patterns) {
+  DETERRENT_ASSERT(patterns.pattern_count() > 0, "side_channel_report needs patterns");
+  const netlist::Netlist infected = apply_trojan(golden, trojan);
+
+  const auto golden_toggles = switching_activity(golden, patterns);
+  const auto infected_toggles = switching_activity(infected, patterns);
+
+  // Trigger activation is evaluated on the golden design — trigger nets keep
+  // their ids across apply_trojan.
+  sim::Simulator gsim(golden);
+
+  // Trigger state per pattern (transition p goes from pattern p-1 to p; the
+  // initial state is all-zero and counted as not fired unless it is).
+  std::vector<bool> fired(patterns.pattern_count());
+  for (std::size_t p = 0; p < patterns.pattern_count(); ++p) {
+    const auto values = gsim.simulate_pattern(patterns.pattern(p));
+    bool f = true;
+    for (const auto& rn : trojan.trigger) f = f && values[rn.net] == rn.rare_value;
+    fired[p] = f;
+  }
+
+  SideChannelReport report;
+  double triggered_sum = 0.0;
+  double dormant_sum = 0.0;
+  for (std::size_t p = 0; p < patterns.pattern_count(); ++p) {
+    report.golden_avg_toggles += static_cast<double>(golden_toggles[p]);
+    report.infected_avg_toggles += static_cast<double>(infected_toggles[p]);
+    const double deviation = std::abs(static_cast<double>(infected_toggles[p]) -
+                                      static_cast<double>(golden_toggles[p]));
+    const bool involved = fired[p] || (p > 0 && fired[p - 1]);
+    if (involved) {
+      triggered_sum += deviation;
+      ++report.triggered_transitions;
+    } else {
+      dormant_sum += deviation;
+      ++report.dormant_transitions;
+    }
+  }
+  const auto n = static_cast<double>(patterns.pattern_count());
+  report.golden_avg_toggles /= n;
+  report.infected_avg_toggles /= n;
+  if (report.triggered_transitions > 0)
+    report.triggered_delta =
+        triggered_sum / static_cast<double>(report.triggered_transitions);
+  if (report.dormant_transitions > 0)
+    report.dormant_delta = dormant_sum / static_cast<double>(report.dormant_transitions);
+  return report;
+}
+
+}  // namespace deterrent::trojan

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "sim/pattern.hpp"
+#include "trojan/trojan.hpp"
+
+namespace deterrent::trojan {
+
+/// Switching-activity proxy for dynamic power: the number of nets that
+/// toggle between consecutive test patterns. §1.2 argues that HTs are hard
+/// to catch by side-channel analysis *unless* the trigger fires: the dormant
+/// trigger logic contributes a negligible toggle delta, while activation
+/// propagates the payload and amplifies the footprint. This analyzer
+/// quantifies exactly that on the golden vs infected pair.
+struct SideChannelReport {
+  double golden_avg_toggles = 0.0;    ///< per pattern transition, golden design
+  double infected_avg_toggles = 0.0;  ///< per pattern transition, infected design
+  /// Mean |infected − golden| toggle deviation over transitions where either
+  /// endpoint pattern activates the trigger (the payload flip propagates on
+  /// both the entering and the leaving edge)…
+  double triggered_delta = 0.0;
+  std::size_t triggered_transitions = 0;
+  /// …and over transitions where the Trojan stays fully dormant — the
+  /// stealth case, where only the tiny trigger tree contributes.
+  double dormant_delta = 0.0;
+  std::size_t dormant_transitions = 0;
+
+  /// Footprint amplification: triggered delta relative to dormant delta.
+  double amplification() const {
+    return dormant_delta <= 0.0 ? triggered_delta : triggered_delta / dormant_delta;
+  }
+};
+
+/// Per-pattern toggle counts for one design (transitions between consecutive
+/// patterns in the set; entry 0 counts toggles from the all-zero state).
+std::vector<std::size_t> switching_activity(const netlist::Netlist& netlist,
+                                            const sim::PatternSet& patterns);
+
+/// Compares golden vs apply_trojan(golden, trojan) under the pattern set and
+/// splits the toggle delta by trigger activation.
+SideChannelReport side_channel_report(const netlist::Netlist& golden,
+                                      const Trojan& trojan,
+                                      const sim::PatternSet& patterns);
+
+}  // namespace deterrent::trojan

@@ -1,0 +1,147 @@
+#include "trojan/trojan.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace deterrent::trojan {
+
+using analysis::RareNet;
+using netlist::GateType;
+using netlist::NetId;
+
+bool payload_is_safe(const netlist::Netlist& nl, NetId candidate_payload,
+                     std::span<const RareNet> trigger) {
+  // BFS over the transitive fanout of the candidate; reject when any select
+  // net is reachable (rewiring would feed the trigger back into itself).
+  std::vector<bool> in_trigger(nl.net_count(), false);
+  for (const auto& rn : trigger) in_trigger[rn.net] = true;
+  if (in_trigger[candidate_payload]) return false;
+
+  std::vector<bool> visited(nl.net_count(), false);
+  std::vector<NetId> queue{candidate_payload};
+  visited[candidate_payload] = true;
+  while (!queue.empty()) {
+    const NetId id = queue.back();
+    queue.pop_back();
+    for (const NetId consumer : nl.fanouts(id)) {
+      if (visited[consumer]) continue;
+      if (in_trigger[consumer]) return false;
+      visited[consumer] = true;
+      queue.push_back(consumer);
+    }
+  }
+  return true;
+}
+
+std::vector<Trojan> sample_trojans(const netlist::Netlist& netlist,
+                                   std::span<const RareNet> rare_nets,
+                                   const TrojanSampleConfig& config,
+                                   sat::NetlistOracle& oracle, util::Rng& rng) {
+  DETERRENT_ASSERT(config.width >= 1, "trigger width must be positive");
+  std::vector<Trojan> trojans;
+  if (rare_nets.size() < config.width) return trojans;
+
+  // Dedup by the sorted set of select-net indices.
+  std::unordered_set<std::size_t> seen;
+  auto key_of = [](std::span<const std::uint32_t> idx) {
+    std::size_t h = 1469598103934665603ULL;
+    for (const auto i : idx) {
+      h ^= i;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  };
+
+  std::vector<sat::Constraint> constraints(config.width);
+  std::size_t attempts_left = config.max_attempts_per_trojan * config.count;
+  while (trojans.size() < config.count && attempts_left-- > 0) {
+    auto idx = rng.sample_indices(static_cast<std::uint32_t>(rare_nets.size()),
+                                  config.width);
+    std::sort(idx.begin(), idx.end());
+    if (!seen.insert(key_of(idx)).second) continue;
+
+    for (unsigned k = 0; k < config.width; ++k)
+      constraints[k] = {rare_nets[idx[k]].net, rare_nets[idx[k]].rare_value};
+    const auto sat_result =
+        oracle.try_satisfiable(constraints, config.sat_conflict_budget);
+    if (!sat_result.has_value() || !*sat_result) continue;  // invalid trigger
+
+    Trojan trojan;
+    trojan.trigger.reserve(config.width);
+    for (const auto i : idx) trojan.trigger.push_back(rare_nets[i]);
+
+    // Payload host: prefer a primary-output driver; fall back to any net that
+    // keeps the circuit acyclic.
+    NetId payload = netlist::kNoNet;
+    for (std::size_t tries = 0; tries < 32 && payload == netlist::kNoNet; ++tries) {
+      const auto outputs = netlist.outputs();
+      const NetId cand = outputs.empty()
+                             ? static_cast<NetId>(rng.below(netlist.net_count()))
+                             : outputs[rng.below(outputs.size())];
+      if (payload_is_safe(netlist, cand, trojan.trigger)) payload = cand;
+    }
+    if (payload == netlist::kNoNet) {
+      for (NetId cand = 0; cand < netlist.net_count() && payload == netlist::kNoNet;
+           ++cand)
+        if (payload_is_safe(netlist, cand, trojan.trigger)) payload = cand;
+    }
+    if (payload == netlist::kNoNet) continue;  // pathological; try another trigger
+    trojan.payload_net = payload;
+    trojans.push_back(std::move(trojan));
+  }
+  return trojans;
+}
+
+netlist::Netlist apply_trojan(const netlist::Netlist& golden, const Trojan& trojan,
+                              NetId* out_trigger_net) {
+  netlist::NetlistBuilder builder;
+
+  // Recreate all original nets under their own ids; the XOR payload output is
+  // declared up front so consumers of the payload net can be rewired to it.
+  for (NetId id = 0; id < golden.net_count(); ++id) builder.declare(golden.name(id));
+  const NetId xor_out = builder.declare("ht_payload_xor");
+
+  for (NetId id = 0; id < golden.net_count(); ++id) {
+    const GateType type = golden.type(id);
+    if (type == GateType::Input) {
+      builder.define_input(id);
+      continue;
+    }
+    auto fanins = golden.fanins(id);
+    std::vector<NetId> rewired(fanins.begin(), fanins.end());
+    for (auto& f : rewired)
+      if (f == trojan.payload_net) f = xor_out;
+    if (type == GateType::Dff)
+      builder.define_dff(id, rewired[0]);
+    else
+      builder.define_gate(id, type, std::move(rewired));
+  }
+
+  // Trigger: AND over select nets, inverting those whose rare value is 0.
+  std::vector<NetId> trigger_terms;
+  trigger_terms.reserve(trojan.trigger.size());
+  for (const auto& rn : trojan.trigger) {
+    if (rn.rare_value) {
+      trigger_terms.push_back(rn.net);
+    } else {
+      trigger_terms.push_back(
+          builder.add_gate(GateType::Not, {rn.net}, "ht_inv_" + std::to_string(rn.net)));
+    }
+  }
+  const NetId trigger_net =
+      trigger_terms.size() == 1
+          ? trigger_terms[0]
+          : builder.add_gate(GateType::And, trigger_terms, "ht_trigger");
+
+  builder.define_gate(xor_out, GateType::Xor, {trojan.payload_net, trigger_net});
+
+  for (const NetId out : golden.outputs())
+    builder.mark_output(out == trojan.payload_net ? xor_out : out);
+
+  if (out_trigger_net != nullptr) *out_trigger_net = trigger_net;
+  return builder.build();
+}
+
+}  // namespace deterrent::trojan

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace deterrent {
+
+/// Base class for all errors thrown by the library.
+/// Parsing, building, and configuration problems throw subclasses of this;
+/// internal invariant violations abort via DETERRENT_ASSERT instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "DETERRENT assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace deterrent
+
+/// Invariant check that stays on in release builds. Use for cheap checks whose
+/// failure indicates a library bug (not user error).
+#define DETERRENT_ASSERT(expr, msg)                                   \
+  do {                                                                \
+    if (!(expr)) ::deterrent::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

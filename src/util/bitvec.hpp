@@ -1,0 +1,146 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace deterrent::util {
+
+/// Fixed-size dynamic bitset with the operations the library leans on:
+/// fast popcount, subset tests, bulk AND/OR, and hashing (for the distinct
+/// compatible-set pool). Word granularity is 64 bits.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n_bits, bool value = false)
+      : n_bits_(n_bits), words_((n_bits + 63) / 64, value ? ~0ULL : 0ULL) {
+    trim();
+  }
+
+  std::size_t size() const { return n_bits_; }
+  bool empty() const { return n_bits_ == 0; }
+  std::size_t word_count() const { return words_.size(); }
+  std::span<const std::uint64_t> words() const { return words_; }
+
+  bool test(std::size_t i) const {
+    DETERRENT_ASSERT(i < n_bits_, "BitVec::test out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i, bool value = true) {
+    DETERRENT_ASSERT(i < n_bits_, "BitVec::set out of range");
+    if (value)
+      words_[i >> 6] |= (1ULL << (i & 63));
+    else
+      words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+
+  void reset(std::size_t i) { set(i, false); }
+
+  void clear_all() {
+    for (auto& w : words_) w = 0;
+  }
+
+  void set_all() {
+    for (auto& w : words_) w = ~0ULL;
+    trim();
+  }
+
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+    return total;
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  /// True iff every set bit of *this is also set in other.
+  bool is_subset_of(const BitVec& other) const {
+    DETERRENT_ASSERT(n_bits_ == other.n_bits_, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & ~other.words_[i]) return false;
+    return true;
+  }
+
+  bool intersects(const BitVec& other) const {
+    DETERRENT_ASSERT(n_bits_ == other.n_bits_, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & other.words_[i]) return true;
+    return false;
+  }
+
+  BitVec& operator&=(const BitVec& other) {
+    DETERRENT_ASSERT(n_bits_ == other.n_bits_, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  BitVec& operator|=(const BitVec& other) {
+    DETERRENT_ASSERT(n_bits_ == other.n_bits_, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+
+  BitVec& operator^=(const BitVec& other) {
+    DETERRENT_ASSERT(n_bits_ == other.n_bits_, "BitVec size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+    return *this;
+  }
+
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+
+  bool operator==(const BitVec& other) const = default;
+
+  /// Index of the first set bit, or size() if none.
+  std::size_t find_first() const { return find_next(0); }
+
+  /// Index of the first set bit at position >= from, or size() if none.
+  std::size_t find_next(std::size_t from) const;
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::uint32_t> to_indices() const;
+
+  /// "0101..." string, bit 0 first (handy for test diagnostics).
+  std::string to_string() const;
+
+  std::size_t hash() const {
+    // FNV-1a over words; adequate for the distinct-set pool.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (auto w : words_) {
+      h ^= w;
+      h *= 1099511628211ULL;
+    }
+    h ^= n_bits_;
+    h *= 1099511628211ULL;
+    return static_cast<std::size_t>(h);
+  }
+
+ private:
+  void trim() {
+    if (n_bits_ % 64 != 0 && !words_.empty())
+      words_.back() &= (~0ULL >> (64 - (n_bits_ % 64)));
+  }
+
+  std::size_t n_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+struct BitVecHash {
+  std::size_t operator()(const BitVec& bv) const { return bv.hash(); }
+};
+
+}  // namespace deterrent::util

@@ -1,0 +1,34 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace deterrent::util {
+
+BenchMode bench_mode_from_env() {
+  const char* env = std::getenv("DETERRENT_BENCH_MODE");
+  if (!env) return BenchMode::Default;
+  if (std::strcmp(env, "quick") == 0) return BenchMode::Quick;
+  if (std::strcmp(env, "full") == 0) return BenchMode::Full;
+  return BenchMode::Default;
+}
+
+const char* to_string(BenchMode mode) {
+  switch (mode) {
+    case BenchMode::Quick: return "quick";
+    case BenchMode::Default: return "default";
+    case BenchMode::Full: return "full";
+  }
+  return "?";
+}
+
+long env_long(const char* name, long fallback) {
+  const char* env = std::getenv(name);
+  if (!env || !*env) return fallback;
+  char* end = nullptr;
+  long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') return fallback;
+  return value;
+}
+
+}  // namespace deterrent::util

@@ -1,0 +1,54 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace deterrent::util {
+
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("DETERRENT_LOG");
+  if (!env) return LogLevel::Info;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::Debug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::Info;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::Warn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::Error;
+  if (std::strcmp(env, "off") == 0) return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+std::atomic<LogLevel>& level_store() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel Log::level() { return level_store().load(std::memory_order_relaxed); }
+
+void Log::set_level(LogLevel level) {
+  level_store().store(level, std::memory_order_relaxed);
+}
+
+void Log::write(LogLevel lvl, const std::string& message) {
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  std::fprintf(stderr, "[deterrent %s] %s\n", level_name(lvl), message.c_str());
+}
+
+}  // namespace deterrent::util

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace deterrent::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Minimal leveled logger writing to stderr. Global level defaults to Info and
+/// can be overridden with the DETERRENT_LOG environment variable
+/// (debug|info|warn|error|off).
+class Log {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void write(LogLevel level, const std::string& message);
+
+  template <typename... Args>
+  static void debug(const Args&... args) {
+    emit(LogLevel::Debug, args...);
+  }
+  template <typename... Args>
+  static void info(const Args&... args) {
+    emit(LogLevel::Info, args...);
+  }
+  template <typename... Args>
+  static void warn(const Args&... args) {
+    emit(LogLevel::Warn, args...);
+  }
+  template <typename... Args>
+  static void error(const Args&... args) {
+    emit(LogLevel::Error, args...);
+  }
+
+ private:
+  template <typename... Args>
+  static void emit(LogLevel lvl, const Args&... args) {
+    if (lvl < level()) return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    write(lvl, oss.str());
+  }
+};
+
+}  // namespace deterrent::util

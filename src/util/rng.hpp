@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace deterrent::util {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**).
+///
+/// All stochastic components of the library (simulation, RL rollouts, Trojan
+/// sampling, benchmark generators) take an explicit Rng so experiments are
+/// reproducible from a single seed. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes state from a 64-bit seed via SplitMix64 (avoids the
+  /// all-zero state and decorrelates nearby seeds).
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = splitmix64(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next(); }
+
+  /// 64 independent uniform bits — the workhorse for bit-parallel simulation.
+  std::uint64_t next_word() { return next(); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) {
+    DETERRENT_ASSERT(bound > 0, "Rng::below requires positive bound");
+    // Lemire's multiply-shift rejection method: unbiased and branch-light.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    DETERRENT_ASSERT(lo <= hi, "Rng::range requires lo <= hi");
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (used for neural-net weight init).
+  double normal() {
+    double u1 = uniform();
+    double u2 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586476925286766559 * u2);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = below(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& choice(std::span<const T> items) {
+    DETERRENT_ASSERT(!items.empty(), "Rng::choice requires non-empty span");
+    return items[below(items.size())];
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), order unspecified.
+  std::vector<std::uint32_t> sample_indices(std::uint32_t n, std::uint32_t k) {
+    DETERRENT_ASSERT(k <= n, "Rng::sample_indices requires k <= n");
+    // Partial Fisher–Yates over an index vector; fine for the sizes we use
+    // (n is at most a few thousand rare nets).
+    std::vector<std::uint32_t> idx(n);
+    for (std::uint32_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::uint32_t i = 0; i < k; ++i) {
+      std::uint32_t j = i + static_cast<std::uint32_t>(below(n - i));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+  /// Derives an independent child stream (for per-thread / per-episode RNGs).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t next() {
+    std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace deterrent::util

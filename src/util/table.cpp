@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace deterrent::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  DETERRENT_ASSERT(!headers_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DETERRENT_ASSERT(cells.size() == headers_.size(), "Table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](std::ostringstream& oss, const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) oss << " | ";
+      oss << cells[c];
+      oss << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    oss << '\n';
+  };
+
+  std::ostringstream oss;
+  emit_row(oss, headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) oss << "-+-";
+    oss << std::string(widths[c], '-');
+  }
+  oss << '\n';
+  for (const auto& row : rows_) emit_row(oss, row);
+  return oss.str();
+}
+
+void Table::print(std::FILE* out) const {
+  std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), out);
+  std::fflush(out);
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << value;
+  return oss.str();
+}
+
+}  // namespace deterrent::util

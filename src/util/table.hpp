@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace deterrent::util {
+
+/// ASCII table printer used by the benchmark harnesses to emit paper-style
+/// tables (Table 1, Table 2) and figure data series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment, e.g.
+  ///   Design  | Cov. (%) | Test Length
+  ///   --------+----------+------------
+  ///   c2670   | 100.0    | 8
+  std::string to_string() const;
+
+  void print(std::FILE* out = stdout) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with fixed precision (helper for cell construction).
+  static std::string num(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace deterrent::util

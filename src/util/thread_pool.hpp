@@ -1,0 +1,55 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace deterrent::util {
+
+/// Fixed-size worker pool. The paper parallelizes the offline pairwise
+/// compatibility computation across 64 processes (§3.3) and uses 16 parallel
+/// environments for MIPS training (§4.1); this pool backs both.
+class ThreadPool {
+ public:
+  /// n_threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; wait_idle() blocks until all enqueued tasks ran.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void wait_idle();
+
+  /// Runs fn(i) for i in [0, n) across the pool, blocking until done.
+  /// fn must be safe to invoke concurrently for distinct i. Work is handed
+  /// out in contiguous chunks to keep cache behaviour predictable.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(thread_index, begin, end) over chunked ranges — for workloads
+  /// that want per-thread scratch state (e.g. one SAT solver per thread).
+  void parallel_chunks(std::size_t n,
+                       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace deterrent::util

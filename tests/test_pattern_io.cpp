@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "sim/pattern_io.hpp"
+#include "util/rng.hpp"
+
+namespace deterrent::sim {
+namespace {
+
+TEST(PatternIo, RoundTripRandomSets) {
+  util::Rng rng(3);
+  for (const std::size_t count : {0u, 1u, 63u, 64u, 65u, 200u}) {
+    const auto original = PatternSet::random(17, count, rng);
+    const auto back = read_patterns_string(write_patterns_string(original));
+    ASSERT_EQ(back.pattern_count(), original.pattern_count()) << count;
+    if (count > 0) ASSERT_EQ(back.input_count(), original.input_count());
+    for (std::size_t p = 0; p < count; ++p)
+      for (std::size_t i = 0; i < 17; ++i)
+        ASSERT_EQ(back.bit(p, i), original.bit(p, i)) << p << "," << i;
+  }
+}
+
+TEST(PatternIo, WritesHeaderComment) {
+  util::Rng rng(5);
+  const auto set = PatternSet::random(4, 3, rng);
+  const std::string text = write_patterns_string(set);
+  EXPECT_EQ(text.find("# deterrent patterns inputs=4 count=3"), 0u);
+}
+
+TEST(PatternIo, SkipsCommentsAndBlankLines) {
+  const auto set = read_patterns_string("# header\n\n0101\n# middle\n1010\n\n");
+  EXPECT_EQ(set.pattern_count(), 2u);
+  EXPECT_EQ(set.input_count(), 4u);
+  EXPECT_TRUE(set.bit(0, 1));
+  EXPECT_FALSE(set.bit(1, 1));
+}
+
+TEST(PatternIo, HandlesCrLf) {
+  const auto set = read_patterns_string("01\r\n10\r\n");
+  EXPECT_EQ(set.pattern_count(), 2u);
+  EXPECT_EQ(set.input_count(), 2u);
+}
+
+TEST(PatternIo, RejectsWidthMismatch) {
+  EXPECT_THROW(read_patterns_string("0101\n01\n"), Error);
+}
+
+TEST(PatternIo, RejectsInvalidCharacters) {
+  EXPECT_THROW(read_patterns_string("01x1\n"), Error);
+}
+
+TEST(PatternIo, MissingFileThrows) {
+  EXPECT_THROW(read_patterns_file("/nonexistent/p.txt"), Error);
+}
+
+TEST(PatternIo, FileRoundTrip) {
+  util::Rng rng(9);
+  const auto original = PatternSet::random(9, 77, rng);
+  const std::string path = ::testing::TempDir() + "/patterns_roundtrip.txt";
+  write_patterns_file(original, path);
+  const auto back = read_patterns_file(path);
+  ASSERT_EQ(back.pattern_count(), 77u);
+  for (std::size_t p = 0; p < 77; ++p)
+    for (std::size_t i = 0; i < 9; ++i)
+      ASSERT_EQ(back.bit(p, i), original.bit(p, i));
+}
+
+}  // namespace
+}  // namespace deterrent::sim

@@ -1,0 +1,408 @@
+#include <gtest/gtest.h>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace deterrent::sat {
+namespace {
+
+/// Exhaustive satisfiability oracle for small formulas.
+bool brute_force_sat(const Cnf& cnf, std::vector<bool>* model = nullptr) {
+  const std::size_t n = cnf.var_count;
+  for (std::uint64_t assignment = 0; assignment < (1ULL << n); ++assignment) {
+    bool all = true;
+    for (const auto& clause : cnf.clauses) {
+      bool sat = false;
+      for (const Lit l : clause) {
+        const bool value = (assignment >> var_of(l)) & 1ULL;
+        if (value != sign_of(l)) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      if (model != nullptr) {
+        model->assign(n, false);
+        for (std::size_t v = 0; v < n; ++v) (*model)[v] = (assignment >> v) & 1ULL;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool model_satisfies(const Solver& solver, const Cnf& cnf) {
+  for (const auto& clause : cnf.clauses) {
+    bool sat = false;
+    for (const Lit l : clause)
+      if (solver.model_value(var_of(l)) != sign_of(l)) {
+        sat = true;
+        break;
+      }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+Solver make_solver(const Cnf& cnf) {
+  Solver s;
+  s.ensure_vars(cnf.var_count);
+  for (const auto& clause : cnf.clauses) s.add_clause(clause);
+  return s;
+}
+
+// ----------------------------------------------------------- literals ------
+
+TEST(Types, LiteralPacking) {
+  const Lit p = mk_lit(5, false);
+  const Lit n = mk_lit(5, true);
+  EXPECT_EQ(var_of(p), 5u);
+  EXPECT_EQ(var_of(n), 5u);
+  EXPECT_FALSE(sign_of(p));
+  EXPECT_TRUE(sign_of(n));
+  EXPECT_EQ(~p, n);
+  EXPECT_EQ(~n, p);
+}
+
+TEST(Types, LitValue) {
+  EXPECT_EQ(lit_value(LBool::True, mk_lit(0)), LBool::True);
+  EXPECT_EQ(lit_value(LBool::True, mk_lit(0, true)), LBool::False);
+  EXPECT_EQ(lit_value(LBool::False, mk_lit(0, true)), LBool::True);
+  EXPECT_EQ(lit_value(LBool::Undef, mk_lit(0)), LBool::Undef);
+}
+
+// -------------------------------------------------------------- basic ------
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), Solver::Result::Sat);
+}
+
+TEST(Solver, SingleUnit) {
+  Solver s;
+  const Var v = s.new_var();
+  s.add_clause({mk_lit(v)});
+  EXPECT_EQ(s.solve(), Solver::Result::Sat);
+  EXPECT_TRUE(s.model_value(v));
+}
+
+TEST(Solver, ContradictoryUnitsUnsat) {
+  Solver s;
+  const Var v = s.new_var();
+  EXPECT_TRUE(s.add_clause({mk_lit(v)}));
+  EXPECT_FALSE(s.add_clause({mk_lit(v, true)}));
+  EXPECT_FALSE(s.okay());
+  EXPECT_EQ(s.solve(), Solver::Result::Unsat);
+}
+
+TEST(Solver, SimpleImplicationChain) {
+  // a, a→b, b→c  ⇒ c true.
+  Solver s;
+  s.ensure_vars(3);
+  s.add_clause({mk_lit(0)});
+  s.add_clause({mk_lit(0, true), mk_lit(1)});
+  s.add_clause({mk_lit(1, true), mk_lit(2)});
+  EXPECT_EQ(s.solve(), Solver::Result::Sat);
+  EXPECT_TRUE(s.model_value(1));
+  EXPECT_TRUE(s.model_value(2));
+}
+
+TEST(Solver, TautologyIgnored) {
+  Solver s;
+  s.ensure_vars(1);
+  EXPECT_TRUE(s.add_clause({mk_lit(0), mk_lit(0, true)}));
+  EXPECT_EQ(s.solve(), Solver::Result::Sat);
+}
+
+TEST(Solver, DuplicateLiteralsCollapse) {
+  Solver s;
+  s.ensure_vars(2);
+  s.add_clause({mk_lit(0), mk_lit(0), mk_lit(1)});
+  s.add_clause({mk_lit(0, true)});
+  s.add_clause({mk_lit(1, true), mk_lit(0)});
+  EXPECT_EQ(s.solve(), Solver::Result::Unsat);
+}
+
+TEST(Solver, XorChainRequiresSearch) {
+  // (a⊕b)=1, (b⊕c)=1, (a⊕c)=0 — satisfiable.
+  Solver s;
+  s.ensure_vars(3);
+  auto add_xor = [&](Var x, Var y, bool value) {
+    // x ⊕ y = value encoded as two clauses over 4 combos.
+    if (value) {
+      s.add_clause({mk_lit(x), mk_lit(y)});
+      s.add_clause({mk_lit(x, true), mk_lit(y, true)});
+    } else {
+      s.add_clause({mk_lit(x), mk_lit(y, true)});
+      s.add_clause({mk_lit(x, true), mk_lit(y)});
+    }
+  };
+  add_xor(0, 1, true);
+  add_xor(1, 2, true);
+  add_xor(0, 2, false);
+  EXPECT_EQ(s.solve(), Solver::Result::Sat);
+  EXPECT_EQ(s.model_value(0), s.model_value(2));
+  EXPECT_NE(s.model_value(0), s.model_value(1));
+}
+
+TEST(Solver, PigeonholeUnsat) {
+  // PHP(4,3): 4 pigeons, 3 holes — classic UNSAT requiring real search.
+  const int pigeons = 4;
+  const int holes = 3;
+  Solver s;
+  s.ensure_vars(pigeons * holes);
+  auto var_at = [&](int p, int h) { return static_cast<Var>(p * holes + h); };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(mk_lit(var_at(p, h)));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause({mk_lit(var_at(p1, h), true), mk_lit(var_at(p2, h), true)});
+  EXPECT_EQ(s.solve(), Solver::Result::Unsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(Solver, PigeonholeSatWhenEqual) {
+  const int n = 4;
+  Solver s;
+  s.ensure_vars(n * n);
+  auto var_at = [&](int p, int h) { return static_cast<Var>(p * n + h); };
+  for (int p = 0; p < n; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < n; ++h) clause.push_back(mk_lit(var_at(p, h)));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < n; ++h)
+    for (int p1 = 0; p1 < n; ++p1)
+      for (int p2 = p1 + 1; p2 < n; ++p2)
+        s.add_clause({mk_lit(var_at(p1, h), true), mk_lit(var_at(p2, h), true)});
+  EXPECT_EQ(s.solve(), Solver::Result::Sat);
+}
+
+// -------------------------------------------------------- assumptions ------
+
+TEST(Solver, AssumptionsForceValues) {
+  Solver s;
+  s.ensure_vars(2);
+  s.add_clause({mk_lit(0), mk_lit(1)});
+  const Lit assume[] = {mk_lit(0, true)};
+  EXPECT_EQ(s.solve(assume), Solver::Result::Sat);
+  EXPECT_FALSE(s.model_value(0));
+  EXPECT_TRUE(s.model_value(1));
+}
+
+TEST(Solver, AssumptionsAreTemporary) {
+  Solver s;
+  s.ensure_vars(1);
+  const Lit neg[] = {mk_lit(0, true)};
+  EXPECT_EQ(s.solve(neg), Solver::Result::Sat);
+  const Lit pos[] = {mk_lit(0)};
+  EXPECT_EQ(s.solve(pos), Solver::Result::Sat);  // no permanent effect
+  EXPECT_TRUE(s.model_value(0));
+}
+
+TEST(Solver, ContradictingAssumptionsUnsatWithCore) {
+  Solver s;
+  s.ensure_vars(2);
+  s.add_clause({mk_lit(0, true), mk_lit(1, true)});  // ¬a ∨ ¬b
+  const Lit assume[] = {mk_lit(0), mk_lit(1)};
+  EXPECT_EQ(s.solve(assume), Solver::Result::Unsat);
+  EXPECT_TRUE(s.okay());  // still satisfiable without assumptions
+  EXPECT_FALSE(s.conflict_core().empty());
+  for (const Lit l : s.conflict_core())
+    EXPECT_TRUE(l == assume[0] || l == assume[1]);
+  EXPECT_EQ(s.solve(), Solver::Result::Sat);
+}
+
+TEST(Solver, IncrementalQueriesAccumulateLearning) {
+  // Re-solving under alternating assumptions must stay correct.
+  Solver s;
+  s.ensure_vars(6);
+  // (v0..v5) with chain constraints vi → vi+1.
+  for (Var v = 0; v + 1 < 6; ++v) s.add_clause({mk_lit(v, true), mk_lit(v + 1)});
+  for (int round = 0; round < 20; ++round) {
+    const Lit a0[] = {mk_lit(0)};
+    ASSERT_EQ(s.solve(a0), Solver::Result::Sat);
+    for (Var v = 0; v < 6; ++v) EXPECT_TRUE(s.model_value(v));
+    const Lit a1[] = {mk_lit(5, true)};
+    ASSERT_EQ(s.solve(a1), Solver::Result::Sat);
+    EXPECT_FALSE(s.model_value(0));
+    const Lit both[] = {mk_lit(0), mk_lit(5, true)};
+    ASSERT_EQ(s.solve(both), Solver::Result::Unsat);
+  }
+}
+
+TEST(Solver, ConflictBudgetReturnsUnknown) {
+  // A hard PHP instance with a tiny budget must give up, not crash.
+  const int pigeons = 8;
+  const int holes = 7;
+  Solver s;
+  s.ensure_vars(pigeons * holes);
+  auto var_at = [&](int p, int h) { return static_cast<Var>(p * holes + h); };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(mk_lit(var_at(p, h)));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause({mk_lit(var_at(p1, h), true), mk_lit(var_at(p2, h), true)});
+  EXPECT_EQ(s.solve({}, 10), Solver::Result::Unknown);
+}
+
+// --------------------------------------------------------------- fuzz ------
+
+/// Differential fuzzing against brute force on random 3-SAT near the phase
+/// transition — the strongest correctness evidence for a CDCL implementation.
+class SolverFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverFuzz, MatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  for (int iter = 0; iter < 60; ++iter) {
+    Cnf cnf;
+    cnf.var_count = 5 + rng.below(8);  // 5..12 vars
+    const std::size_t n_clauses =
+        static_cast<std::size_t>(4.2 * static_cast<double>(cnf.var_count));
+    for (std::size_t c = 0; c < n_clauses; ++c) {
+      Clause clause;
+      for (int k = 0; k < 3; ++k)
+        clause.push_back(mk_lit(static_cast<Var>(rng.below(cnf.var_count)),
+                                rng.bernoulli(0.5)));
+      cnf.clauses.push_back(std::move(clause));
+    }
+
+    Solver s = make_solver(cnf);
+    const auto result = s.solve();
+    const bool expected = brute_force_sat(cnf);
+    ASSERT_NE(result, Solver::Result::Unknown);
+    ASSERT_EQ(result == Solver::Result::Sat, expected)
+        << "seed " << GetParam() << " iter " << iter << "\n"
+        << write_dimacs_string(cnf);
+    if (result == Solver::Result::Sat)
+      ASSERT_TRUE(model_satisfies(s, cnf)) << "model check failed, iter " << iter;
+  }
+}
+
+TEST_P(SolverFuzz, AssumptionsMatchAugmentedFormula) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  for (int iter = 0; iter < 30; ++iter) {
+    Cnf cnf;
+    cnf.var_count = 6 + rng.below(6);
+    const std::size_t n_clauses = 3 * cnf.var_count;
+    for (std::size_t c = 0; c < n_clauses; ++c) {
+      Clause clause;
+      for (int k = 0; k < 3; ++k)
+        clause.push_back(mk_lit(static_cast<Var>(rng.below(cnf.var_count)),
+                                rng.bernoulli(0.5)));
+      cnf.clauses.push_back(std::move(clause));
+    }
+    std::vector<Lit> assumptions;
+    for (Var v = 0; v < 3; ++v)
+      if (rng.bernoulli(0.7)) assumptions.push_back(mk_lit(v, rng.bernoulli(0.5)));
+
+    Solver s = make_solver(cnf);
+    const auto result = s.solve(assumptions);
+
+    Cnf augmented = cnf;
+    for (const Lit a : assumptions) augmented.clauses.push_back({a});
+    ASSERT_EQ(result == Solver::Result::Sat, brute_force_sat(augmented))
+        << "iter " << iter;
+  }
+}
+
+TEST_P(SolverFuzz, RepeatedIncrementalSolvesStayConsistent) {
+  // One solver, many assumption queries; each answer must match brute force
+  // on the augmented formula (validates learnt-clause soundness).
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 99);
+  Cnf cnf;
+  cnf.var_count = 10;
+  for (std::size_t c = 0; c < 38; ++c) {
+    Clause clause;
+    for (int k = 0; k < 3; ++k)
+      clause.push_back(mk_lit(static_cast<Var>(rng.below(cnf.var_count)),
+                              rng.bernoulli(0.5)));
+    cnf.clauses.push_back(std::move(clause));
+  }
+  Solver s = make_solver(cnf);
+  for (int query = 0; query < 40; ++query) {
+    std::vector<Lit> assumptions;
+    const std::size_t n_assume = rng.below(4);
+    for (std::size_t k = 0; k < n_assume; ++k)
+      assumptions.push_back(
+          mk_lit(static_cast<Var>(rng.below(cnf.var_count)), rng.bernoulli(0.5)));
+    const auto result = s.solve(assumptions);
+    Cnf augmented = cnf;
+    for (const Lit a : assumptions) augmented.clauses.push_back({a});
+    ASSERT_EQ(result == Solver::Result::Sat, brute_force_sat(augmented))
+        << "query " << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz, ::testing::Range(0, 5));
+
+TEST(Solver, RandomPhasesStillCorrect) {
+  util::Rng rng(77);
+  Solver s;
+  s.ensure_vars(8);
+  s.add_clause({mk_lit(0), mk_lit(1)});
+  s.add_clause({mk_lit(2, true), mk_lit(3)});
+  for (int i = 0; i < 10; ++i) {
+    s.randomize_phases(rng);
+    ASSERT_EQ(s.solve(), Solver::Result::Sat);
+    ASSERT_TRUE(s.model_value(0) || s.model_value(1));
+    ASSERT_TRUE(!s.model_value(2) || s.model_value(3));
+  }
+}
+
+TEST(Solver, StatsProgress) {
+  Solver s;
+  s.ensure_vars(2);
+  s.add_clause({mk_lit(0), mk_lit(1)});
+  s.solve();
+  EXPECT_GE(s.stats().solves, 1u);
+}
+
+// ------------------------------------------------------------- dimacs ------
+
+TEST(Dimacs, ParsesSimple) {
+  const Cnf cnf = read_dimacs_string("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  EXPECT_EQ(cnf.var_count, 3u);
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0][0], mk_lit(0));
+  EXPECT_EQ(cnf.clauses[0][1], mk_lit(1, true));
+}
+
+TEST(Dimacs, RoundTrip) {
+  util::Rng rng(3);
+  Cnf cnf;
+  cnf.var_count = 7;
+  for (int c = 0; c < 12; ++c) {
+    Clause clause;
+    for (int k = 0; k < 3; ++k)
+      clause.push_back(mk_lit(static_cast<Var>(rng.below(7)), rng.bernoulli(0.5)));
+    cnf.clauses.push_back(clause);
+  }
+  const Cnf back = read_dimacs_string(write_dimacs_string(cnf));
+  EXPECT_EQ(back.var_count, cnf.var_count);
+  ASSERT_EQ(back.clauses.size(), cnf.clauses.size());
+  for (std::size_t i = 0; i < cnf.clauses.size(); ++i)
+    EXPECT_EQ(back.clauses[i], cnf.clauses[i]);
+}
+
+TEST(Dimacs, RejectsMalformed) {
+  EXPECT_THROW(read_dimacs_string("1 2 0\n"), Error);
+  EXPECT_THROW(read_dimacs_string("p cnf 2 1\n5 0\n"), Error);
+}
+
+}  // namespace
+}  // namespace deterrent::sat
