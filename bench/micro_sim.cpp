@@ -1,59 +1,246 @@
-// Micro-benchmarks: bit-parallel logic simulation throughput.
+// Micro-benchmark: bit-parallel logic simulation throughput, old vs new.
 //
-// Backs the paper's feasibility arguments — rare-net discovery and coverage
-// evaluation ride on raw simulation speed. Reported counters: patterns/sec
-// and gate-evaluations/sec.
-#include <benchmark/benchmark.h>
+// Backs the paper's feasibility arguments — rare-net discovery, the
+// compatibility pre-filter, and coverage evaluation all ride on raw
+// simulation speed. Compares the seed's single-word, per-gate-dispatch
+// simulator against sim::Engine at several sweep widths W (W x 64 patterns
+// per pass) and with pattern-stripe thread parallelism, reporting
+// gate-evaluations/sec.
+//
+//   ./micro_sim [output.json]           (default output: BENCH_sim.json)
+//
+// DETERRENT_BENCH_MODE=quick shrinks the circuit and pattern count for CI
+// smoke runs; default/full use a >= 20k-gate circuit at >= 16k patterns.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "bench_gen/library.hpp"
-#include "sim/probability.hpp"
-#include "sim/simulator.hpp"
+#include "bench_gen/random_circuit.hpp"
+#include "netlist/gate.hpp"
+#include "sim/engine.hpp"
+#include "sim/pattern.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 using namespace deterrent;
 
 namespace {
 
-void BM_SimulateBlock(benchmark::State& state, const std::string& name) {
-  auto bench = bench_gen::load_benchmark(name);
-  const auto& comb = bench.scan.comb;
-  sim::Simulator simulator(comb);
-  util::Rng rng(1);
-  std::vector<std::uint64_t> inputs(comb.inputs().size());
-  for (auto& w : inputs) w = rng.next_word();
-
-  for (auto _ : state) {
-    inputs[0] ^= 1;  // defeat any caching
-    benchmark::DoNotOptimize(simulator.simulate_block(inputs).data());
+/// The seed repository's simulator, reproduced verbatim as the comparison
+/// baseline: one 64-pattern word per pass, a per-gate scratch copy of the
+/// fanin words, and an out-of-line eval_word call per gate.
+class SeedSimulator {
+ public:
+  explicit SeedSimulator(const netlist::Netlist& netlist) : netlist_(&netlist) {
+    values_.resize(netlist.net_count(), 0);
   }
-  state.counters["patterns/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 64.0, benchmark::Counter::kIsRate);
-  state.counters["gate_evals/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * 64.0 *
-          static_cast<double>(comb.gate_count()),
-      benchmark::Counter::kIsRate);
+
+  std::span<const std::uint64_t> simulate_block(
+      std::span<const std::uint64_t> input_words) {
+    const auto& nl = *netlist_;
+    for (std::size_t i = 0; i < input_words.size(); ++i)
+      values_[nl.inputs()[i]] = input_words[i];
+    for (netlist::NetId id : nl.topo_order()) {
+      const netlist::GateType type = nl.type(id);
+      if (type == netlist::GateType::Input) continue;
+      const auto fanins = nl.fanins(id);
+      scratch_.resize(fanins.size());
+      for (std::size_t k = 0; k < fanins.size(); ++k) scratch_[k] = values_[fanins[k]];
+      values_[id] = netlist::eval_word(type, scratch_);
+    }
+    return values_;
+  }
+
+ private:
+  const netlist::Netlist* netlist_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> scratch_;
+};
+
+struct Result {
+  std::string config;
+  std::size_t threads = 1;
+  std::size_t words = 1;
+  double gate_evals_per_sec = 0.0;
+  double speedup_vs_seed = 0.0;
+  std::uint64_t checksum = 0;  ///< XOR of all output-net value words (sanity)
+};
+
+struct Workload {
+  netlist::Netlist netlist;
+  sim::PatternSet patterns;
+  double gate_evals_per_sweep = 0.0;
+};
+
+/// Runs `sweep` repeatedly until the measured time is stable enough, and
+/// returns gate-evals/sec for the best repetition (minimum time — standard
+/// micro-bench practice to suppress scheduler noise).
+template <typename SweepFn>
+double measure(const Workload& w, double min_seconds, SweepFn&& sweep) {
+  double best = 0.0;
+  double total = 0.0;
+  int reps = 0;
+  while (total < min_seconds || reps < 3) {
+    util::Stopwatch watch;
+    sweep();
+    const double s = watch.elapsed_seconds();
+    total += s;
+    ++reps;
+    best = std::max(best, w.gate_evals_per_sweep / s);
+    if (reps > 50) break;
+  }
+  return best;
 }
 
-void BM_SignalStats(benchmark::State& state, const std::string& name) {
-  auto bench = bench_gen::load_benchmark(name);
-  const auto& comb = bench.scan.comb;
-  const auto n_patterns = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    util::Rng rng(7);
-    benchmark::DoNotOptimize(
-        sim::estimate_signal_stats(comb, n_patterns, rng).ones.data());
-  }
-  state.counters["patterns/s"] = benchmark::Counter(
-      static_cast<double>(state.iterations()) * static_cast<double>(n_patterns),
-      benchmark::Counter::kIsRate);
+std::uint64_t checksum_outputs(const netlist::Netlist& nl,
+                               std::span<const std::uint64_t> values_word_per_net) {
+  std::uint64_t sum = 0;
+  for (const netlist::NetId out : nl.outputs()) sum ^= values_word_per_net[out];
+  return sum;
 }
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_SimulateBlock, c2670_like, "c2670_like");
-BENCHMARK_CAPTURE(BM_SimulateBlock, c6288_like, "c6288_like");
-BENCHMARK_CAPTURE(BM_SimulateBlock, s35932_like, "s35932_like");
-BENCHMARK_CAPTURE(BM_SimulateBlock, mips16_like, "mips16_like");
-BENCHMARK_CAPTURE(BM_SignalStats, c6288_like, "c6288_like")->Arg(1 << 12)->Arg(1 << 14);
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
+  const util::BenchMode mode = util::bench_mode_from_env();
 
-BENCHMARK_MAIN();
+  Workload w;
+  bench_gen::RandomCircuitProfile profile;
+  profile.name = "micro_sim_random";
+  profile.seed = 7;
+  profile.wide_gate_fraction = 0.15;
+  std::size_t n_patterns;
+  if (mode == util::BenchMode::Quick) {
+    profile.n_inputs = 96;
+    profile.n_outputs = 48;
+    profile.n_gates = 6000;
+    n_patterns = 4096;
+  } else {
+    profile.n_inputs = 128;
+    profile.n_outputs = 64;
+    profile.n_gates = 24000;
+    n_patterns = 16384;
+  }
+  w.netlist = bench_gen::generate_random_circuit(profile);
+  util::Rng rng(11);
+  w.patterns = sim::PatternSet::random(w.netlist.inputs().size(), n_patterns, rng);
+  w.gate_evals_per_sweep = static_cast<double>(w.netlist.gate_count()) *
+                           static_cast<double>(n_patterns);
+  const double min_seconds = mode == util::BenchMode::Quick ? 0.1 : 0.3;
+
+  std::printf("micro_sim: %zu gates, %zu nets, %zu inputs, %zu patterns (%s mode)\n",
+              w.netlist.gate_count(), w.netlist.net_count(), w.netlist.inputs().size(),
+              n_patterns, util::to_string(mode));
+
+  std::vector<Result> results;
+
+  // --- seed word simulator (the old hot path) ------------------------------
+  {
+    SeedSimulator seed_sim(w.netlist);
+    std::uint64_t sum = 0;
+    const double rate = measure(w, min_seconds, [&] {
+      sum = 0;
+      for (std::size_t b = 0; b < w.patterns.block_count(); ++b) {
+        const auto values = seed_sim.simulate_block(w.patterns.block(b));
+        sum ^= checksum_outputs(w.netlist, values);
+      }
+    });
+    results.push_back({"seed_word_simulator", 1, 1, rate, 1.0, sum});
+  }
+  const double seed_rate = results[0].gate_evals_per_sec;
+  const std::uint64_t seed_checksum = results[0].checksum;
+
+  // --- engine, single thread, W in {1, 4, 8} -------------------------------
+  const sim::Engine engine(w.netlist);
+  for (const std::size_t words : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    sim::EvalBuffer buf;
+    std::uint64_t sum = 0;
+    const double rate = measure(w, min_seconds, [&] {
+      sum = 0;
+      const std::size_t n_blocks = w.patterns.block_count();
+      for (std::size_t first = 0; first < n_blocks; first += words) {
+        const std::size_t n = std::min(words, n_blocks - first);
+        engine.evaluate_blocks(buf, w.patterns, first, n);
+        for (std::size_t ww = 0; ww < n; ++ww)
+          for (const netlist::NetId out : w.netlist.outputs())
+            sum ^= buf.word(out, ww);
+      }
+    });
+    results.push_back({"engine_w" + std::to_string(words), 1, words, rate,
+                       rate / seed_rate, sum});
+  }
+
+  // --- engine, pattern-stripe parallel, W = 8 ------------------------------
+  for (const std::size_t n_threads : {std::size_t{2}, std::size_t{4}}) {
+    util::ThreadPool pool(n_threads);
+    constexpr std::size_t kWords = sim::Engine::kDefaultWords;
+    std::vector<std::uint64_t> partial(pool.thread_count(), 0);
+    std::uint64_t sum = 0;
+    const double rate = measure(w, min_seconds, [&] {
+      std::fill(partial.begin(), partial.end(), 0);
+      pool.parallel_chunks(
+          w.patterns.block_count(),
+          [&](std::size_t thread, std::size_t begin, std::size_t end) {
+            sim::EvalBuffer buf;
+            for (std::size_t first = begin; first < end; first += kWords) {
+              const std::size_t n = std::min(kWords, end - first);
+              engine.evaluate_blocks(buf, w.patterns, first, n);
+              for (std::size_t ww = 0; ww < n; ++ww)
+                for (const netlist::NetId out : w.netlist.outputs())
+                  partial[thread] ^= buf.word(out, ww);
+            }
+          });
+      sum = 0;
+      for (const std::uint64_t p : partial) sum ^= p;
+    });
+    results.push_back({"engine_w8_t" + std::to_string(n_threads), n_threads, kWords,
+                       rate, rate / seed_rate, sum});
+  }
+
+  // --- report --------------------------------------------------------------
+  bool checksums_ok = true;
+  std::printf("\n%-22s %8s %6s %16s %10s\n", "config", "threads", "words",
+              "gate_evals/s", "speedup");
+  for (const auto& r : results) {
+    std::printf("%-22s %8zu %6zu %16.3e %9.2fx\n", r.config.c_str(), r.threads,
+                r.words, r.gate_evals_per_sec, r.speedup_vs_seed);
+    if (r.checksum != seed_checksum) {
+      checksums_ok = false;
+      std::printf("  !! checksum mismatch vs seed simulator (%016llx vs %016llx)\n",
+                  static_cast<unsigned long long>(r.checksum),
+                  static_cast<unsigned long long>(seed_checksum));
+    }
+  }
+  std::printf("checksums: %s\n", checksums_ok ? "all match" : "MISMATCH");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_sim: cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"micro_sim\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", util::to_string(mode));
+  std::fprintf(f, "  \"gates\": %zu,\n", w.netlist.gate_count());
+  std::fprintf(f, "  \"nets\": %zu,\n", w.netlist.net_count());
+  std::fprintf(f, "  \"inputs\": %zu,\n", w.netlist.inputs().size());
+  std::fprintf(f, "  \"patterns\": %zu,\n", n_patterns);
+  std::fprintf(f, "  \"checksums_ok\": %s,\n", checksums_ok ? "true" : "false");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"threads\": %zu, \"words\": %zu, "
+                 "\"gate_evals_per_sec\": %.6e, \"speedup_vs_seed\": %.4f}%s\n",
+                 r.config.c_str(), r.threads, r.words, r.gate_evals_per_sec,
+                 r.speedup_vs_seed, i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return checksums_ok ? 0 : 1;
+}

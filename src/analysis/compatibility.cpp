@@ -1,9 +1,10 @@
 #include "analysis/compatibility.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -13,18 +14,53 @@ CompatibilityMatrix::CompatibilityMatrix(std::size_t n) {
   rows_.assign(n, util::BitVec(n));
 }
 
+CompatibilityMatrix::CompatibilityMatrix(const CompatibilityMatrix& other)
+    : rows_(other.rows_),
+      cached_edge_count_(other.cached_edge_count_.load(std::memory_order_relaxed)),
+      edge_count_valid_(other.edge_count_valid_.load(std::memory_order_relaxed)) {}
+
+CompatibilityMatrix::CompatibilityMatrix(CompatibilityMatrix&& other) noexcept
+    : rows_(std::move(other.rows_)),
+      cached_edge_count_(other.cached_edge_count_.load(std::memory_order_relaxed)),
+      edge_count_valid_(other.edge_count_valid_.load(std::memory_order_relaxed)) {}
+
+CompatibilityMatrix& CompatibilityMatrix::operator=(const CompatibilityMatrix& other) {
+  rows_ = other.rows_;
+  cached_edge_count_.store(other.cached_edge_count_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  edge_count_valid_.store(other.edge_count_valid_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  return *this;
+}
+
+CompatibilityMatrix& CompatibilityMatrix::operator=(CompatibilityMatrix&& other) noexcept {
+  rows_ = std::move(other.rows_);
+  cached_edge_count_.store(other.cached_edge_count_.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+  edge_count_valid_.store(other.edge_count_valid_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  return *this;
+}
+
 void CompatibilityMatrix::set(std::uint32_t i, std::uint32_t j, bool value) {
   rows_[i].set(j, value);
   rows_[j].set(i, value);
+  edge_count_valid_.store(false, std::memory_order_release);
 }
 
 std::size_t CompatibilityMatrix::edge_count() const {
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < rows_.size(); ++i) {
-    total += rows_[i].count();
-    if (rows_[i].test(i)) --total;  // don't count the diagonal
+  if (!edge_count_valid_.load(std::memory_order_acquire)) {
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      total += rows_[i].count();
+      if (rows_[i].test(i)) --total;  // don't count the diagonal
+    }
+    // Racing first readers store the same value, so relaxed + release is
+    // enough for later acquire loads to see a published count.
+    cached_edge_count_.store(total / 2, std::memory_order_relaxed);
+    edge_count_valid_.store(true, std::memory_order_release);
   }
-  return total / 2;
+  return cached_edge_count_.load(std::memory_order_relaxed);
 }
 
 double CompatibilityMatrix::average_degree() const {
@@ -34,26 +70,43 @@ double CompatibilityMatrix::average_degree() const {
 
 std::vector<util::BitVec> rare_activation_signatures(
     const netlist::Netlist& netlist, std::span<const RareNet> rare_nets,
-    std::size_t pattern_count, util::Rng& rng) {
+    std::size_t pattern_count, util::Rng& rng, util::ThreadPool* pool) {
   std::vector<util::BitVec> signatures(rare_nets.size(), util::BitVec(pattern_count));
-  sim::Simulator simulator(netlist);
+  if (pattern_count == 0) return signatures;
+  // Draw the stimulus before any other early-out so the caller's RNG stream
+  // advances identically in degenerate cases (fixed-seed reproducibility).
   const auto patterns =
       sim::PatternSet::random(netlist.inputs().size(), pattern_count, rng);
-  simulator.simulate(patterns, [&](std::size_t block, std::uint64_t valid_mask,
-                                   std::span<const std::uint64_t> values) {
-    for (std::size_t r = 0; r < rare_nets.size(); ++r) {
-      const auto& rn = rare_nets[r];
-      std::uint64_t at_rare = values[rn.net];
-      if (!rn.rare_value) at_rare = ~at_rare;
-      at_rare &= valid_mask;
-      if (at_rare == 0) continue;
-      for (std::uint64_t bits = at_rare; bits;) {
-        const int lane = std::countr_zero(bits);
-        bits &= bits - 1;
-        signatures[r].set(block * 64 + static_cast<std::size_t>(lane));
-      }
-    }
-  });
+  if (rare_nets.empty()) return signatures;
+
+  // Signature words map 1:1 to pattern blocks, so every worker writes a
+  // disjoint word range — no reduction step, and the result is independent of
+  // the stripe schedule.
+  const sim::Engine engine(netlist);
+  auto run_range = [&](std::size_t begin, std::size_t end) {
+    engine.sweep_blocks(
+        patterns, begin, end,
+        [&](std::size_t first, std::size_t n, const sim::EvalBuffer& buf) {
+          for (std::size_t r = 0; r < rare_nets.size(); ++r) {
+            const auto& rn = rare_nets[r];
+            const auto values = buf.net(rn.net);
+            for (std::size_t w = 0; w < n; ++w) {
+              std::uint64_t at_rare = rn.rare_value ? values[w] : ~values[w];
+              at_rare &= patterns.valid_mask(first + w);
+              signatures[r].set_word(first + w, at_rare);
+            }
+          }
+          return true;
+        });
+  };
+
+  const std::size_t n_blocks = patterns.block_count();
+  if (pool == nullptr || pool->thread_count() <= 1 || n_blocks < 4) {
+    run_range(0, n_blocks);
+  } else {
+    pool->parallel_chunks(n_blocks, [&](std::size_t /*thread*/, std::size_t begin,
+                                        std::size_t end) { run_range(begin, end); });
+  }
   return signatures;
 }
 
@@ -61,7 +114,8 @@ CompatibilityMatrix build_compatibility(const netlist::Netlist& netlist,
                                         std::span<const RareNet> rare_nets,
                                         const CompatibilityBuildConfig& config,
                                         util::Rng& rng, util::ThreadPool* pool,
-                                        CompatibilityBuildStats* stats) {
+                                        CompatibilityBuildStats* stats,
+                                        std::vector<util::BitVec>* signatures_out) {
   util::Stopwatch watch;
   const std::size_t n = rare_nets.size();
   CompatibilityMatrix matrix(n);
@@ -69,8 +123,8 @@ CompatibilityMatrix build_compatibility(const netlist::Netlist& netlist,
   local_stats.pair_count = n * (n + 1) / 2;
 
   // Phase 1 — simulation pre-filter: co-occurrence is a satisfiability witness.
-  const auto signatures =
-      rare_activation_signatures(netlist, rare_nets, config.sim_patterns, rng);
+  auto signatures =
+      rare_activation_signatures(netlist, rare_nets, config.sim_patterns, rng, pool);
   std::vector<std::pair<std::uint32_t, std::uint32_t>> unresolved;
   for (std::uint32_t i = 0; i < n; ++i) {
     for (std::uint32_t j = i; j < n; ++j) {
@@ -82,6 +136,7 @@ CompatibilityMatrix build_compatibility(const netlist::Netlist& netlist,
       }
     }
   }
+  if (signatures_out != nullptr) *signatures_out = std::move(signatures);
 
   // Phase 2 — SAT decides the pairs simulation never witnessed. One oracle
   // per worker; learnt clauses amortize across that worker's share.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -25,6 +26,13 @@ class CompatibilityMatrix {
   CompatibilityMatrix() = default;
   explicit CompatibilityMatrix(std::size_t n);
 
+  // Copy/move are explicit because the edge-count cache is atomic (atomics
+  // are neither copyable nor movable).
+  CompatibilityMatrix(const CompatibilityMatrix& other);
+  CompatibilityMatrix(CompatibilityMatrix&& other) noexcept;
+  CompatibilityMatrix& operator=(const CompatibilityMatrix& other);
+  CompatibilityMatrix& operator=(CompatibilityMatrix&& other) noexcept;
+
   std::size_t size() const { return rows_.size(); }
 
   bool compatible(std::uint32_t i, std::uint32_t j) const {
@@ -37,7 +45,10 @@ class CompatibilityMatrix {
 
   void set(std::uint32_t i, std::uint32_t j, bool value = true);
 
-  /// Number of compatible unordered pairs (i < j).
+  /// Number of compatible unordered pairs (i < j). The O(n²/64) popcount is
+  /// computed once and cached. Concurrent const reads are safe (racing
+  /// first callers recompute the same value into an atomic); set()
+  /// invalidates and, like all writes, must not race with readers.
   std::size_t edge_count() const;
 
   /// Mean degree (compatible partners per rare net), excluding the diagonal.
@@ -45,6 +56,8 @@ class CompatibilityMatrix {
 
  private:
   std::vector<util::BitVec> rows_;
+  mutable std::atomic<std::size_t> cached_edge_count_{0};
+  mutable std::atomic<bool> edge_count_valid_{false};
 };
 
 struct CompatibilityBuildConfig {
@@ -69,17 +82,25 @@ struct CompatibilityBuildStats {
 /// Builds the pairwise matrix. Parallelized across `pool` with one SAT oracle
 /// per worker, mirroring the paper's 64-process offline computation (§3.3).
 /// Deterministic for fixed rng seed regardless of thread count.
+///
+/// `signatures_out`, when non-null, receives the phase-1 activation
+/// signatures (one per rare net, pattern-indexed) so downstream consumers —
+/// notably the RL environment's simulation-witness shortcut — can reuse the
+/// simulation evidence without re-simulating.
 CompatibilityMatrix build_compatibility(const netlist::Netlist& netlist,
                                         std::span<const RareNet> rare_nets,
                                         const CompatibilityBuildConfig& config,
                                         util::Rng& rng, util::ThreadPool* pool = nullptr,
-                                        CompatibilityBuildStats* stats = nullptr);
+                                        CompatibilityBuildStats* stats = nullptr,
+                                        std::vector<util::BitVec>* signatures_out = nullptr);
 
 /// Per-rare-net activation signatures under `pattern_count` random patterns:
 /// bit p of signature i is set when pattern p drives rare net i to its rare
-/// value. Shared by the matrix builder and by MERO-style counting.
+/// value. Shared by the matrix builder and by MERO-style counting. Blocks are
+/// striped across `pool` when given (signature words are per-block, so the
+/// result is deterministic for a fixed rng seed regardless of thread count).
 std::vector<util::BitVec> rare_activation_signatures(
     const netlist::Netlist& netlist, std::span<const RareNet> rare_nets,
-    std::size_t pattern_count, util::Rng& rng);
+    std::size_t pattern_count, util::Rng& rng, util::ThreadPool* pool = nullptr);
 
 }  // namespace deterrent::analysis

@@ -1,7 +1,7 @@
 #include "baselines/atpg_like.hpp"
 
 #include "sat/oracle.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace deterrent::baselines {
 
@@ -12,7 +12,8 @@ AtpgLikeResult run_atpg_like(const netlist::Netlist& netlist,
   result.patterns = sim::PatternSet(netlist.inputs().size());
 
   sat::NetlistOracle oracle(netlist);
-  sim::Simulator simulator(netlist);
+  const sim::Engine engine(netlist);
+  sim::EvalBuffer eval_buf;
   std::vector<bool> covered(rare_nets.size(), false);
 
   for (std::size_t i = 0; i < rare_nets.size(); ++i) {
@@ -28,7 +29,7 @@ AtpgLikeResult run_atpg_like(const netlist::Netlist& netlist,
 
     // Fault dropping: every rare net this pattern happens to excite needs no
     // dedicated pattern of its own.
-    const auto values = simulator.simulate_pattern(*pattern);
+    const auto values = engine.evaluate_pattern(eval_buf, *pattern);
     for (std::size_t j = 0; j < rare_nets.size(); ++j)
       if (!covered[j] && values[rare_nets[j].net] == rare_nets[j].rare_value)
         covered[j] = true;

@@ -1,9 +1,10 @@
 #include "baselines/mero.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <numeric>
 
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace deterrent::baselines {
 
@@ -25,24 +26,29 @@ MeroResult run_mero(const netlist::Netlist& netlist,
                     const MeroConfig& config, util::Rng& rng) {
   const std::size_t n_inputs = netlist.inputs().size();
   const std::size_t n_rare = rare_nets.size();
-  sim::Simulator simulator(netlist);
+  const sim::Engine engine(netlist);
+  sim::EvalBuffer eval_buf;
 
   MeroResult result;
   result.patterns = sim::PatternSet(n_inputs);
   result.activation_counts.assign(n_rare, 0);
 
-  // Step 1: random pool, ranked by how many rare nets each pattern activates.
+  // Step 1: random pool, ranked by how many rare nets each pattern activates;
+  // scored in multi-word engine sweeps.
   const auto pool = sim::PatternSet::random(n_inputs, config.random_pool, rng);
   std::vector<std::uint32_t> scores(config.random_pool, 0);
-  simulator.simulate(pool, [&](std::size_t block, std::uint64_t valid_mask,
-                               std::span<const std::uint64_t> values) {
+  engine.sweep(pool, [&](std::size_t first_block, std::size_t n_words,
+                         const sim::EvalBuffer& buf) {
     for (const auto& rn : rare_nets) {
-      std::uint64_t hits = rn.rare_value ? values[rn.net] : ~values[rn.net];
-      hits &= valid_mask;
-      while (hits) {
-        const int lane = std::countr_zero(hits);
-        hits &= hits - 1;
-        ++scores[block * 64 + static_cast<std::size_t>(lane)];
+      const auto values = buf.net(rn.net);
+      for (std::size_t w = 0; w < n_words; ++w) {
+        std::uint64_t hits = rn.rare_value ? values[w] : ~values[w];
+        hits &= pool.valid_mask(first_block + w);
+        while (hits) {
+          const int lane = std::countr_zero(hits);
+          hits &= hits - 1;
+          ++scores[(first_block + w) * 64 + static_cast<std::size_t>(lane)];
+        }
       }
     }
   });
@@ -67,7 +73,7 @@ MeroResult run_mero(const netlist::Netlist& netlist,
       break;
 
     sim::Pattern current = pool.pattern(p);
-    std::size_t current_gain = gain_of(simulator.simulate_pattern(current));
+    std::size_t current_gain = gain_of(engine.evaluate_pattern(eval_buf, current));
 
     // Step 2: greedy bit-flip ascent; evaluate 64 single-bit mutants per
     // simulation pass (lane b = current with bit base+b flipped).
@@ -81,12 +87,12 @@ MeroResult run_mero(const netlist::Netlist& netlist,
         for (std::size_t lane = 0; lane < lanes; ++lane)
           mutant_words[base + lane] ^= (1ULL << lane);
 
-        const auto values = simulator.simulate_block(mutant_words);
+        engine.evaluate(eval_buf, mutant_words, 1);
         for (std::size_t lane = 0; lane < lanes; ++lane) {
           std::size_t gain = 0;
           for (std::uint32_t i = 0; i < n_rare; ++i) {
             if (result.activation_counts[i] >= config.n_detect) continue;
-            const bool v = (values[rare_nets[i].net] >> lane) & 1ULL;
+            const bool v = (eval_buf.word(rare_nets[i].net, 0) >> lane) & 1ULL;
             if (v == rare_nets[i].rare_value) ++gain;
           }
           if (gain > best_gain) {
@@ -102,7 +108,8 @@ MeroResult run_mero(const netlist::Netlist& netlist,
 
     // Step 3: keep the pattern only if it advances N-detection.
     if (current_gain == 0) continue;
-    const auto activated = activated_rare(simulator.simulate_pattern(current), rare_nets);
+    const auto activated =
+        activated_rare(engine.evaluate_pattern(eval_buf, current), rare_nets);
     result.patterns.push(current);
     for (const std::uint32_t i : activated) ++result.activation_counts[i];
 

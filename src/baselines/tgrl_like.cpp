@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace deterrent::baselines {
 
@@ -13,7 +13,8 @@ TgrlLikeResult run_tgrl_like(const netlist::Netlist& netlist,
                              const TgrlLikeConfig& config, util::Rng& rng) {
   const std::size_t n_inputs = netlist.inputs().size();
   const std::size_t n_rare = rare_nets.size();
-  sim::Simulator simulator(netlist);
+  const sim::Engine engine(netlist);
+  sim::EvalBuffer eval_buf;
 
   TgrlLikeResult result;
   result.patterns = sim::PatternSet(n_inputs);
@@ -55,14 +56,14 @@ TgrlLikeResult run_tgrl_like(const netlist::Netlist& netlist,
         w ^= (sparse_word() & ~1ULL);
         words[i] = w;
       }
-      const auto values = simulator.simulate_block(words);
+      engine.evaluate(eval_buf, words, 1);
 
       double best_score = -1.0;
       int best_lane = 0;
       for (int lane = 0; lane < 64; ++lane) {
         double score = 0.0;
         for (std::size_t i = 0; i < n_rare; ++i) {
-          const bool v = (values[rare_nets[i].net] >> lane) & 1ULL;
+          const bool v = (eval_buf.word(rare_nets[i].net, 0) >> lane) & 1ULL;
           if (v == rare_nets[i].rare_value)
             score += base_weight[i] /
                      (1.0 + static_cast<double>(activation_counts[i]));
@@ -79,7 +80,7 @@ TgrlLikeResult run_tgrl_like(const netlist::Netlist& netlist,
       current_score = std::max(current_score, best_score);
     }
 
-    const auto values = simulator.simulate_pattern(current);
+    const auto values = engine.evaluate_pattern(eval_buf, current);
     for (std::size_t i = 0; i < n_rare; ++i)
       if (values[rare_nets[i].net] == rare_nets[i].rare_value) ++activation_counts[i];
     result.patterns.push(current);

@@ -21,6 +21,9 @@ CompatibleSetEnv::CompatibleSetEnv(const netlist::Netlist& netlist,
       mask_(rare_nets.size()) {
   DETERRENT_ASSERT(matrix.size() == rare_nets_.size(),
                    "compatibility matrix / rare net size mismatch");
+  DETERRENT_ASSERT(config_.witness_signatures == nullptr ||
+                       config_.witness_signatures->size() == rare_nets_.size(),
+                   "witness signature count / rare net count mismatch");
   max_steps_ = config_.max_steps != 0
                    ? config_.max_steps
                    : std::min<std::size_t>(rare_nets_.size(), 128);
@@ -41,6 +44,8 @@ std::vector<float> CompatibleSetEnv::reset(util::Rng& rng) {
   const std::uint32_t start = viable[rng.below(viable.size())];
   state_.set(start);
   members_.push_back(start);
+  if (config_.witness_signatures != nullptr)
+    witness_ = (*config_.witness_signatures)[start];
 
   if (config_.mask_mode == MaskMode::Pairwise) {
     mask_ = matrix_->row(start);
@@ -62,6 +67,14 @@ std::vector<float> CompatibleSetEnv::observation() const {
 }
 
 bool CompatibleSetEnv::joint_satisfiable_with(std::uint32_t action) {
+  // Simulation witness first: a random pattern that drove every member AND
+  // the candidate to their rare values simultaneously proves satisfiability
+  // without touching the oracle.
+  if (config_.witness_signatures != nullptr &&
+      witness_.intersects((*config_.witness_signatures)[action])) {
+    ++witness_hits_;
+    return true;
+  }
   scratch_constraints_.clear();
   scratch_constraints_.reserve(members_.size() + 1);
   for (const std::uint32_t m : members_)
@@ -76,7 +89,16 @@ std::size_t CompatibleSetEnv::longest_satisfiable_prefix() {
   // Prefix satisfiability is monotone (constraints only accumulate), so a
   // binary search needs O(log T) SAT calls instead of one per step — the
   // mechanism that makes end-of-episode reward cheap (§3.2).
+  const auto* sigs = config_.witness_signatures;
   auto prefix_sat = [&](std::size_t len) {
+    if (sigs != nullptr) {
+      util::BitVec joint = (*sigs)[members_[0]];
+      for (std::size_t k = 1; k < len; ++k) joint &= (*sigs)[members_[k]];
+      if (joint.any()) {
+        ++witness_hits_;
+        return true;
+      }
+    }
     scratch_constraints_.clear();
     for (std::size_t k = 0; k < len; ++k) {
       const auto& rn = rare_nets_[members_[k]];
@@ -106,6 +128,11 @@ std::size_t CompatibleSetEnv::longest_satisfiable_prefix() {
   // rather than a prefix cliff).
   std::vector<std::uint32_t> kept(members_.begin(),
                                   members_.begin() + static_cast<std::ptrdiff_t>(lo));
+  util::BitVec joint;
+  if (sigs != nullptr) {
+    joint = (*sigs)[kept[0]];
+    for (std::size_t k = 1; k < kept.size(); ++k) joint &= (*sigs)[kept[k]];
+  }
   scratch_constraints_.clear();
   for (const std::uint32_t m : kept)
     scratch_constraints_.push_back({rare_nets_[m].net, rare_nets_[m].rare_value});
@@ -113,8 +140,15 @@ std::size_t CompatibleSetEnv::longest_satisfiable_prefix() {
   for (std::size_t k = lo + 1; k < members_.size() && budget > 0; ++k, --budget) {
     const auto& rn = rare_nets_[members_[k]];  // member lo itself broke the prefix
     scratch_constraints_.push_back({rn.net, rn.rare_value});
+    if (sigs != nullptr && joint.intersects((*sigs)[members_[k]])) {
+      ++witness_hits_;
+      joint &= (*sigs)[members_[k]];
+      kept.push_back(members_[k]);
+      continue;
+    }
     if (oracle_.try_satisfiable(scratch_constraints_, config_.sat_conflict_budget)
             .value_or(false)) {
+      if (sigs != nullptr) joint &= (*sigs)[members_[k]];
       kept.push_back(members_[k]);
     } else {
       scratch_constraints_.pop_back();
@@ -160,6 +194,8 @@ rl::StepResult CompatibleSetEnv::step(std::uint32_t action) {
     if (accepted) {
       state_.set(action);
       members_.push_back(action);
+      if (config_.witness_signatures != nullptr)
+        witness_ &= (*config_.witness_signatures)[action];
       refresh_mask_after_add(action);
       result.reward = size_reward(members_.size());  // |s_{t+1}|^p, p=2 in §3.1
     } else {

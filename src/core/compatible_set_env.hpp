@@ -49,6 +49,20 @@ struct EnvConfig {
   /// (greedy repair). SIZE_MAX = repair everything (quality-first, the
   /// default); 0 = pure prefix truncation (the literal §3.2 scheme, cheapest).
   std::size_t eoe_repair_budget = static_cast<std::size_t>(-1);
+  /// Optional per-rare-net simulation witness signatures (bit p set when
+  /// random pattern p drove rare net i to its rare value), as produced by
+  /// analysis::rare_activation_signatures / build_compatibility. When set, a
+  /// non-empty intersection of member signatures is a constructive proof of
+  /// joint satisfiability, so the env skips the SAT call — the offline
+  /// simulation pre-filter of §3.3 applied inside the reward loop. A witness
+  /// implies SAT-satisfiability, so as long as the oracle's conflict budget
+  /// never trips, rewards and transitions are unchanged and only the SAT
+  /// query count drops. When a budgeted SAT call *would* have timed out
+  /// (conservatively rejecting a satisfiable set), the witness instead
+  /// accepts it — a strictly sounder answer, but one that can differ from
+  /// the witness-free env. Must outlive the env; one signature per rare net,
+  /// all of equal pattern length.
+  const std::vector<util::BitVec>* witness_signatures = nullptr;
 };
 
 /// The DETERRENT Markov decision process (§3.1):
@@ -78,6 +92,10 @@ class CompatibleSetEnv final : public rl::Env {
 
   /// Number of SAT queries issued so far (Table 1's cost driver).
   std::uint64_t sat_queries() const { return oracle_.query_count(); }
+
+  /// Joint-satisfiability checks answered by a simulation witness instead of
+  /// a SAT call (0 unless config.witness_signatures is set).
+  std::uint64_t witness_hits() const { return witness_hits_; }
 
  private:
   float size_reward(std::size_t set_size) const {
@@ -109,6 +127,8 @@ class CompatibleSetEnv final : public rl::Env {
   std::size_t max_steps_ = 0;
   bool episode_open_ = false;
   std::vector<sat::Constraint> scratch_constraints_;
+  util::BitVec witness_;  // running AND of member signatures (AllSteps mode)
+  std::uint64_t witness_hits_ = 0;
 };
 
 }  // namespace deterrent::core

@@ -24,7 +24,7 @@ void Deterrent::prepare() {
   if (rare_nets_.empty())
     throw Error("no rare nets below threshold " + std::to_string(config_.rare.threshold));
   matrix_ = analysis::build_compatibility(*netlist_, rare_nets_, config_.compat, rng,
-                                          &pool, &compat_stats_);
+                                          &pool, &compat_stats_, &witness_signatures_);
   util::Log::info("deterrent: prepared ", rare_nets_.size(), " rare nets, ",
                   matrix_->edge_count(), " compatible pairs (",
                   compat_stats_.sim_resolved, " sim, ", compat_stats_.sat_sat,
@@ -37,7 +37,7 @@ void Deterrent::prepare_with(std::vector<analysis::RareNet> rare_nets) {
   util::ThreadPool pool(config_.offline_threads);
   rare_nets_ = std::move(rare_nets);
   matrix_ = analysis::build_compatibility(*netlist_, rare_nets_, config_.compat, rng,
-                                          &pool, &compat_stats_);
+                                          &pool, &compat_stats_, &witness_signatures_);
 }
 
 const std::vector<TrainingSnapshot>& Deterrent::train(std::size_t updates) {
@@ -46,8 +46,11 @@ const std::vector<TrainingSnapshot>& Deterrent::train(std::size_t updates) {
 
   if (!trainer_) {
     auto factory = [this](std::size_t /*worker*/) -> std::unique_ptr<rl::Env> {
+      EnvConfig env_config = config_.env;
+      if (env_config.witness_signatures == nullptr && !witness_signatures_.empty())
+        env_config.witness_signatures = &witness_signatures_;
       return std::make_unique<CompatibleSetEnv>(*netlist_, rare_nets_, *matrix_,
-                                                config_.env, &pool_);
+                                                env_config, &pool_);
     };
     trainer_ = std::make_unique<rl::PpoTrainer>(factory, config_.ppo, config_.seed);
   }

@@ -83,6 +83,11 @@ class Deterrent {
   bool prepared() const { return matrix_.has_value(); }
   std::span<const analysis::RareNet> rare_nets() const { return rare_nets_; }
   const analysis::CompatibilityMatrix& matrix() const { return *matrix_; }
+  /// Phase-1 simulation witnesses (one per rare net), reused by the training
+  /// environments to answer joint-satisfiability checks without SAT calls.
+  const std::vector<util::BitVec>& witness_signatures() const {
+    return witness_signatures_;
+  }
   const analysis::CompatibilityBuildStats& compat_stats() const { return compat_stats_; }
   DistinctSetPool& pool() { return pool_; }
   const DistinctSetPool& pool() const { return pool_; }
@@ -99,6 +104,7 @@ class Deterrent {
   DeterrentConfig config_;
   std::vector<analysis::RareNet> rare_nets_;
   std::optional<analysis::CompatibilityMatrix> matrix_;
+  std::vector<util::BitVec> witness_signatures_;
   analysis::CompatibilityBuildStats compat_stats_;
   DistinctSetPool pool_;
   std::unique_ptr<rl::PpoTrainer> trainer_;

@@ -1,0 +1,281 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <type_traits>
+
+#include "util/assert.hpp"
+
+namespace deterrent::sim {
+
+using netlist::GateType;
+using netlist::NetId;
+
+Engine::Engine(const netlist::Netlist& netlist) : netlist_(&netlist) {
+  if (netlist.is_sequential())
+    throw Error(
+        "Engine requires a combinational netlist; apply make_full_scan to "
+        "sequential designs first");
+
+  op_.reserve(netlist.gate_count());
+  out_.reserve(netlist.gate_count());
+  a_.reserve(netlist.gate_count());
+  b_.reserve(netlist.gate_count());
+
+  for (const NetId id : netlist.topo_order()) {
+    const GateType type = netlist.type(id);
+    if (type == GateType::Input) continue;
+    const auto fanins = netlist.fanins(id);
+
+    Op op;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+    switch (type) {
+      case GateType::Const0:
+        op = Op::Const0;
+        break;
+      case GateType::Const1:
+        op = Op::Const1;
+        break;
+      case GateType::Buf:
+        op = Op::Buf;
+        a = fanins[0];
+        break;
+      case GateType::Not:
+        op = Op::Not;
+        a = fanins[0];
+        break;
+      case GateType::And:
+      case GateType::Nand:
+      case GateType::Or:
+      case GateType::Nor:
+      case GateType::Xor:
+      case GateType::Xnor: {
+        const bool inverted = type == GateType::Nand || type == GateType::Nor ||
+                              type == GateType::Xnor;
+        if (fanins.size() == 1) {
+          // Degenerate n-ary gate: AND(x) == x, NAND(x) == ~x, and likewise
+          // for the other families.
+          op = inverted ? Op::Not : Op::Buf;
+          a = fanins[0];
+        } else if (fanins.size() == 2) {
+          switch (type) {
+            case GateType::And: op = Op::And2; break;
+            case GateType::Nand: op = Op::Nand2; break;
+            case GateType::Or: op = Op::Or2; break;
+            case GateType::Nor: op = Op::Nor2; break;
+            case GateType::Xor: op = Op::Xor2; break;
+            default: op = Op::Xnor2; break;
+          }
+          a = fanins[0];
+          b = fanins[1];
+        } else {
+          switch (type) {
+            case GateType::And: op = Op::AndN; break;
+            case GateType::Nand: op = Op::NandN; break;
+            case GateType::Or: op = Op::OrN; break;
+            case GateType::Nor: op = Op::NorN; break;
+            case GateType::Xor: op = Op::XorN; break;
+            default: op = Op::XnorN; break;
+          }
+          a = static_cast<std::uint32_t>(nary_fanins_.size());
+          b = static_cast<std::uint32_t>(fanins.size());
+          nary_fanins_.insert(nary_fanins_.end(), fanins.begin(), fanins.end());
+        }
+        break;
+      }
+      case GateType::Input:
+      case GateType::Dff:
+      default:
+        DETERRENT_ASSERT(false, "unreachable: sources are skipped above");
+        return;
+    }
+    op_.push_back(op);
+    out_.push_back(id);
+    a_.push_back(a);
+    b_.push_back(b);
+  }
+}
+
+/// The evaluation loop, generic over the word count. WordCount is either a
+/// std::integral_constant (fully unrolled inner loops for the common sweep
+/// widths) or std::size_t (arbitrary tail batches).
+template <typename WordCount>
+void Engine::run_program(std::uint64_t* v, WordCount n_words) const {
+  const std::size_t W = n_words;
+  const std::size_t n_ops = op_.size();
+  for (std::size_t k = 0; k < n_ops; ++k) {
+    std::uint64_t* out = v + std::size_t{out_[k]} * W;
+    const std::uint64_t* a = v + std::size_t{a_[k]} * W;
+    switch (op_[k]) {
+      case Op::Const0:
+        for (std::size_t w = 0; w < W; ++w) out[w] = 0;
+        break;
+      case Op::Const1:
+        for (std::size_t w = 0; w < W; ++w) out[w] = ~0ULL;
+        break;
+      case Op::Buf:
+        for (std::size_t w = 0; w < W; ++w) out[w] = a[w];
+        break;
+      case Op::Not:
+        for (std::size_t w = 0; w < W; ++w) out[w] = ~a[w];
+        break;
+      case Op::And2: {
+        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] = a[w] & b[w];
+        break;
+      }
+      case Op::Nand2: {
+        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] & b[w]);
+        break;
+      }
+      case Op::Or2: {
+        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] = a[w] | b[w];
+        break;
+      }
+      case Op::Nor2: {
+        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] | b[w]);
+        break;
+      }
+      case Op::Xor2: {
+        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] = a[w] ^ b[w];
+        break;
+      }
+      case Op::Xnor2: {
+        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] ^ b[w]);
+        break;
+      }
+      case Op::AndN:
+      case Op::NandN: {
+        const NetId* f = nary_fanins_.data() + a_[k];
+        const std::uint32_t cnt = b_[k];
+        const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
+        for (std::uint32_t j = 1; j < cnt; ++j) {
+          const std::uint64_t* fj = v + std::size_t{f[j]} * W;
+          for (std::size_t w = 0; w < W; ++w) out[w] &= fj[w];
+        }
+        if (op_[k] == Op::NandN)
+          for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
+        break;
+      }
+      case Op::OrN:
+      case Op::NorN: {
+        const NetId* f = nary_fanins_.data() + a_[k];
+        const std::uint32_t cnt = b_[k];
+        const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
+        for (std::uint32_t j = 1; j < cnt; ++j) {
+          const std::uint64_t* fj = v + std::size_t{f[j]} * W;
+          for (std::size_t w = 0; w < W; ++w) out[w] |= fj[w];
+        }
+        if (op_[k] == Op::NorN)
+          for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
+        break;
+      }
+      case Op::XorN:
+      case Op::XnorN: {
+        const NetId* f = nary_fanins_.data() + a_[k];
+        const std::uint32_t cnt = b_[k];
+        const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
+        for (std::uint32_t j = 1; j < cnt; ++j) {
+          const std::uint64_t* fj = v + std::size_t{f[j]} * W;
+          for (std::size_t w = 0; w < W; ++w) out[w] ^= fj[w];
+        }
+        if (op_[k] == Op::XnorN)
+          for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
+        break;
+      }
+    }
+  }
+}
+
+void Engine::run(std::uint64_t* values, std::size_t n_words) const {
+  switch (n_words) {
+    case 1: run_program(values, std::integral_constant<std::size_t, 1>{}); break;
+    case 2: run_program(values, std::integral_constant<std::size_t, 2>{}); break;
+    case 4: run_program(values, std::integral_constant<std::size_t, 4>{}); break;
+    case 8: run_program(values, std::integral_constant<std::size_t, 8>{}); break;
+    default: run_program(values, n_words); break;
+  }
+}
+
+void Engine::evaluate(EvalBuffer& buf, std::span<const std::uint64_t> input_words,
+                      std::size_t n_words) const {
+  const auto inputs = netlist_->inputs();
+  DETERRENT_ASSERT(n_words >= 1, "evaluate: n_words must be positive");
+  DETERRENT_ASSERT(input_words.size() == inputs.size() * n_words,
+                   "evaluate: input word count mismatch");
+  buf.resize(netlist_->net_count(), n_words);
+  std::uint64_t* v = buf.values_.data();
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    std::copy_n(input_words.data() + i * n_words, n_words,
+                v + std::size_t{inputs[i]} * n_words);
+  run(v, n_words);
+}
+
+void Engine::evaluate_blocks(EvalBuffer& buf, const PatternSet& patterns,
+                             std::size_t first_block, std::size_t n_words) const {
+  const auto inputs = netlist_->inputs();
+  DETERRENT_ASSERT(patterns.input_count() == inputs.size(),
+                   "evaluate_blocks: pattern arity mismatch");
+  DETERRENT_ASSERT(n_words >= 1 && first_block + n_words <= patterns.block_count(),
+                   "evaluate_blocks: block range out of bounds");
+  buf.resize(netlist_->net_count(), n_words);
+  std::uint64_t* v = buf.values_.data();
+  for (std::size_t w = 0; w < n_words; ++w) {
+    const auto block = patterns.block(first_block + w);
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      v[std::size_t{inputs[i]} * n_words + w] = block[i];
+  }
+  run(v, n_words);
+}
+
+void Engine::sweep(const PatternSet& patterns,
+                   const std::function<void(std::size_t, std::size_t,
+                                            const EvalBuffer&)>& sink,
+                   std::size_t words_per_sweep) const {
+  sweep_blocks(
+      patterns, 0, patterns.block_count(),
+      [&](std::size_t first, std::size_t n, const EvalBuffer& buf) {
+        sink(first, n, buf);
+        return true;
+      },
+      words_per_sweep);
+}
+
+void Engine::sweep_blocks(
+    const PatternSet& patterns, std::size_t first_block, std::size_t end_block,
+    const std::function<bool(std::size_t, std::size_t, const EvalBuffer&)>& sink,
+    std::size_t words_per_sweep) const {
+  DETERRENT_ASSERT(words_per_sweep >= 1, "sweep_blocks: words_per_sweep must be positive");
+  DETERRENT_ASSERT(end_block <= patterns.block_count(),
+                   "sweep_blocks: block range out of bounds");
+  EvalBuffer buf;
+  for (std::size_t first = first_block; first < end_block; first += words_per_sweep) {
+    const std::size_t n = std::min(words_per_sweep, end_block - first);
+    evaluate_blocks(buf, patterns, first, n);
+    if (!sink(first, n, buf)) return;
+  }
+}
+
+std::vector<bool> Engine::evaluate_pattern(EvalBuffer& buf,
+                                           const Pattern& pattern) const {
+  const auto& nl = *netlist_;
+  DETERRENT_ASSERT(pattern.size() == nl.inputs().size(),
+                   "evaluate_pattern: arity mismatch");
+  buf.inputs_scratch_.resize(nl.inputs().size());
+  for (std::size_t i = 0; i < buf.inputs_scratch_.size(); ++i)
+    buf.inputs_scratch_[i] = pattern.test(i) ? ~0ULL : 0ULL;
+  evaluate(buf, buf.inputs_scratch_, 1);
+  std::vector<bool> out(nl.net_count());
+  for (NetId id = 0; id < nl.net_count(); ++id) out[id] = buf.word(id, 0) & 1ULL;
+  return out;
+}
+
+}  // namespace deterrent::sim

@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/pattern.hpp"
+
+namespace deterrent::sim {
+
+class Engine;
+
+/// Structure-of-arrays value storage for one Engine sweep: W consecutive
+/// 64-bit value words per net (W*64 patterns), net-major. Consumers own one
+/// buffer each (one per worker thread in parallel sweeps); the Engine only
+/// writes into it, so a single compiled Engine is safely shared across
+/// threads.
+class EvalBuffer {
+ public:
+  /// Words per net of the most recent evaluation (the W of that call).
+  std::size_t words() const { return words_; }
+  std::size_t net_count() const { return nets_; }
+
+  /// The W value words of one net: word w carries patterns [w*64, w*64+64) of
+  /// the evaluated batch.
+  std::span<const std::uint64_t> net(netlist::NetId id) const {
+    return {values_.data() + std::size_t{id} * words_, words_};
+  }
+
+  std::uint64_t word(netlist::NetId id, std::size_t w) const {
+    return values_[std::size_t{id} * words_ + w];
+  }
+
+  /// Whole buffer, net-major with stride words(). When words() == 1 this is
+  /// exactly the legacy "one word per net, indexed by NetId" layout.
+  std::span<const std::uint64_t> flat() const { return values_; }
+
+ private:
+  friend class Engine;
+
+  void resize(std::size_t nets, std::size_t words) {
+    nets_ = nets;
+    words_ = words;
+    values_.resize(nets * words);
+  }
+
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> inputs_scratch_;  // single-pattern input staging
+  std::size_t nets_ = 0;
+  std::size_t words_ = 0;
+};
+
+/// Batch logic-simulation engine: compiles a netlist once into a flat,
+/// level-ordered evaluation program (specialized opcodes for the 1- and
+/// 2-input cells, a CSR-indexed n-ary fallback for wider gates) and then
+/// evaluates W words — W*64 patterns — per sweep with no per-gate dispatch
+/// call and no per-gate scratch copy. This is the hot path under rare-net
+/// discovery, the compatibility pre-filter, trigger-coverage checks, the
+/// MERO/TARMAC/ATPG baselines, and the PPO reward loop.
+///
+/// Pattern-stripe parallelism: the compiled program is immutable, so one
+/// Engine is shared across a util::ThreadPool; each worker owns an EvalBuffer
+/// and evaluates a disjoint range of pattern blocks (see
+/// sim::estimate_signal_stats for the canonical stripe loop).
+///
+/// The netlist must be combinational (apply netlist::make_full_scan first).
+class Engine {
+ public:
+  /// Default words per sweep. 8 words (512 patterns) keeps the value buffer
+  /// of typical benchmarks inside L2 while giving the inner loops enough
+  /// independent lanes to fill the execute ports.
+  static constexpr std::size_t kDefaultWords = 8;
+
+  explicit Engine(const netlist::Netlist& netlist);
+
+  const netlist::Netlist& target() const { return *netlist_; }
+
+  /// Evaluates n_words blocks at once. `input_words` is input-major: word w
+  /// of primary input i at [i * n_words + w]. Results land in `buf`.
+  void evaluate(EvalBuffer& buf, std::span<const std::uint64_t> input_words,
+                std::size_t n_words) const;
+
+  /// Evaluates blocks [first_block, first_block + n_words) of a PatternSet,
+  /// gathering the input words directly from the set's block storage.
+  void evaluate_blocks(EvalBuffer& buf, const PatternSet& patterns,
+                       std::size_t first_block, std::size_t n_words) const;
+
+  /// Sequential whole-set sweep in batches of up to words_per_sweep blocks:
+  /// sink(first_block, n_words, buf) per batch. Lane-validity masks come from
+  /// patterns.valid_mask(block) as before (only the last block can be
+  /// partial).
+  void sweep(const PatternSet& patterns,
+             const std::function<void(std::size_t first_block, std::size_t n_words,
+                                      const EvalBuffer&)>& sink,
+             std::size_t words_per_sweep = kDefaultWords) const;
+
+  /// Ranged sweep over blocks [first_block, end_block) with early exit: stops
+  /// as soon as the sink returns false. This is the batch loop behind
+  /// coverage evaluation (exit once every trojan fired) and the per-worker
+  /// stripes of threaded signature builds.
+  void sweep_blocks(const PatternSet& patterns, std::size_t first_block,
+                    std::size_t end_block,
+                    const std::function<bool(std::size_t first_block,
+                                             std::size_t n_words, const EvalBuffer&)>& sink,
+                    std::size_t words_per_sweep = kDefaultWords) const;
+
+  /// Single-pattern convenience (SAT model cross-checks, fault dropping);
+  /// returns one bool per net. `buf` is reused across calls — pass the same
+  /// buffer in loops to avoid reallocating a net_count-sized value array
+  /// per pattern.
+  std::vector<bool> evaluate_pattern(EvalBuffer& buf, const Pattern& pattern) const;
+
+  /// As above with a throwaway buffer (one-off calls only).
+  std::vector<bool> evaluate_pattern(const Pattern& pattern) const {
+    EvalBuffer buf;
+    return evaluate_pattern(buf, pattern);
+  }
+
+ private:
+  /// Compiled opcodes. Arity-1 n-ary gates fold to Buf/Not at compile time;
+  /// arity-2 gates use the two-operand forms; wider gates fall back to the
+  /// *N forms, which read their fanins from the CSR pool.
+  enum class Op : std::uint8_t {
+    Const0,
+    Const1,
+    Buf,
+    Not,
+    And2,
+    Nand2,
+    Or2,
+    Nor2,
+    Xor2,
+    Xnor2,
+    AndN,
+    NandN,
+    OrN,
+    NorN,
+    XorN,
+    XnorN,
+  };
+
+  void run(std::uint64_t* values, std::size_t n_words) const;
+  template <typename WordCount>
+  void run_program(std::uint64_t* values, WordCount n_words) const;
+
+  const netlist::Netlist* netlist_;
+  // One entry per combinational cell, in (levelized) topological order.
+  std::vector<Op> op_;
+  std::vector<netlist::NetId> out_;
+  std::vector<std::uint32_t> a_;  // fanin 0, or CSR offset for *N ops
+  std::vector<std::uint32_t> b_;  // fanin 1, or fanin count for *N ops
+  std::vector<netlist::NetId> nary_fanins_;  // CSR pool for *N ops
+};
+
+}  // namespace deterrent::sim

@@ -2,7 +2,7 @@
 
 #include <bit>
 
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 #include "util/assert.hpp"
 
 namespace deterrent::sim {
@@ -11,10 +11,18 @@ using netlist::NetId;
 
 namespace {
 
-void accumulate_block(std::span<const std::uint64_t> values, std::uint64_t valid_mask,
+/// Adds per-net popcounts of a batch into `ones`. masks[w] selects the valid
+/// pattern lanes of word w (all-ones except possibly the final block).
+void accumulate_batch(const EvalBuffer& buf, std::span<const std::uint64_t> masks,
                       std::vector<std::size_t>& ones) {
-  for (std::size_t net = 0; net < values.size(); ++net)
-    ones[net] += static_cast<std::size_t>(std::popcount(values[net] & valid_mask));
+  const std::size_t n_words = buf.words();
+  for (std::size_t net = 0; net < buf.net_count(); ++net) {
+    const auto values = buf.net(static_cast<NetId>(net));
+    std::size_t acc = 0;
+    for (std::size_t w = 0; w < n_words; ++w)
+      acc += static_cast<std::size_t>(std::popcount(values[w] & masks[w]));
+    ones[net] += acc;
+  }
 }
 
 }  // namespace
@@ -33,19 +41,30 @@ SignalStats estimate_signal_stats(const netlist::Netlist& netlist,
       pattern_count % 64 == 0 ? ~0ULL : (~0ULL >> (64 - pattern_count % 64));
 
   // Pre-draw one RNG seed per block so the result is independent of the
-  // execution schedule (threaded or not).
+  // execution schedule (threaded or not) and of the sweep batching.
   std::vector<std::uint64_t> block_seeds(n_blocks);
   for (auto& seed : block_seeds) seed = rng.next_word();
 
+  // One compiled engine shared by all workers; each worker owns its value
+  // buffer and simulates a disjoint stripe of blocks.
+  const Engine engine(netlist);
   auto run_range = [&](std::vector<std::size_t>& local_ones, std::size_t begin,
                        std::size_t end) {
-    Simulator simulator(netlist);
-    std::vector<std::uint64_t> input_words(n_inputs);
-    for (std::size_t b = begin; b < end; ++b) {
-      util::Rng block_rng(block_seeds[b]);
-      for (auto& w : input_words) w = block_rng.next_word();
-      auto values = simulator.simulate_block(input_words);
-      accumulate_block(values, b + 1 == n_blocks ? tail_mask : ~0ULL, local_ones);
+    EvalBuffer buf;
+    std::vector<std::uint64_t> input_words;
+    std::vector<std::uint64_t> masks;
+    for (std::size_t first = begin; first < end; first += Engine::kDefaultWords) {
+      const std::size_t n = std::min(Engine::kDefaultWords, end - first);
+      input_words.resize(n_inputs * n);
+      masks.resize(n);
+      for (std::size_t w = 0; w < n; ++w) {
+        util::Rng block_rng(block_seeds[first + w]);
+        for (std::size_t i = 0; i < n_inputs; ++i)
+          input_words[i * n + w] = block_rng.next_word();
+        masks[w] = first + w + 1 == n_blocks ? tail_mask : ~0ULL;
+      }
+      engine.evaluate(buf, input_words, n);
+      accumulate_batch(buf, masks, local_ones);
     }
   };
 
@@ -74,10 +93,14 @@ SignalStats signal_stats_for_patterns(const netlist::Netlist& netlist,
   SignalStats stats;
   stats.pattern_count = patterns.pattern_count();
   stats.ones.assign(netlist.net_count(), 0);
-  Simulator simulator(netlist);
-  simulator.simulate(patterns, [&](std::size_t, std::uint64_t valid_mask,
-                                   std::span<const std::uint64_t> values) {
-    accumulate_block(values, valid_mask, stats.ones);
+  const Engine engine(netlist);
+  std::vector<std::uint64_t> masks;
+  engine.sweep(patterns, [&](std::size_t first_block, std::size_t n_words,
+                             const EvalBuffer& buf) {
+    masks.resize(n_words);
+    for (std::size_t w = 0; w < n_words; ++w)
+      masks[w] = patterns.valid_mask(first_block + w);
+    accumulate_batch(buf, masks, stats.ones);
   });
   return stats;
 }
@@ -91,8 +114,10 @@ SignalStats exact_signal_stats(const netlist::Netlist& netlist) {
   stats.pattern_count = total;
   stats.ones.assign(netlist.net_count(), 0);
 
-  Simulator simulator(netlist);
+  const Engine engine(netlist);
+  EvalBuffer buf;
   std::vector<std::uint64_t> input_words(n_inputs);
+  std::uint64_t mask = 0;
   for (std::size_t base = 0; base < total; base += 64) {
     const std::size_t lanes = std::min<std::size_t>(64, total - base);
     for (std::size_t i = 0; i < n_inputs; ++i) {
@@ -101,9 +126,9 @@ SignalStats exact_signal_stats(const netlist::Netlist& netlist) {
         if (((base + lane) >> i) & 1ULL) w |= (1ULL << lane);
       input_words[i] = w;
     }
-    const std::uint64_t mask = lanes == 64 ? ~0ULL : ((1ULL << lanes) - 1);
-    auto values = simulator.simulate_block(input_words);
-    accumulate_block(values, mask, stats.ones);
+    mask = lanes == 64 ? ~0ULL : ((1ULL << lanes) - 1);
+    engine.evaluate(buf, input_words, 1);
+    accumulate_batch(buf, {&mask, 1}, stats.ones);
   }
   return stats;
 }

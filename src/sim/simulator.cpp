@@ -10,55 +10,16 @@ namespace deterrent::sim {
 using netlist::GateType;
 using netlist::NetId;
 
-Simulator::Simulator(const netlist::Netlist& netlist) : netlist_(&netlist) {
-  if (netlist.is_sequential())
-    throw Error(
-        "Simulator requires a combinational netlist; apply make_full_scan to "
-        "sequential designs first");
-  values_.resize(netlist.net_count(), 0);
-}
-
-std::span<const std::uint64_t> Simulator::simulate_block(
-    std::span<const std::uint64_t> input_words) {
-  const auto& nl = *netlist_;
-  DETERRENT_ASSERT(input_words.size() == nl.inputs().size(),
-                   "simulate_block: input word count mismatch");
-  for (std::size_t i = 0; i < input_words.size(); ++i)
-    values_[nl.inputs()[i]] = input_words[i];
-
-  for (NetId id : nl.topo_order()) {
-    const GateType type = nl.type(id);
-    if (type == GateType::Input) continue;
-    const auto fanins = nl.fanins(id);
-    scratch_.resize(fanins.size());
-    for (std::size_t k = 0; k < fanins.size(); ++k) scratch_[k] = values_[fanins[k]];
-    values_[id] = netlist::eval_word(type, scratch_);
-  }
-  return values_;
-}
-
 void Simulator::simulate(
     const PatternSet& patterns,
     const std::function<void(std::size_t, std::uint64_t, std::span<const std::uint64_t>)>&
         sink) {
-  DETERRENT_ASSERT(patterns.input_count() == netlist_->inputs().size(),
+  DETERRENT_ASSERT(patterns.input_count() == target().inputs().size(),
                    "simulate: pattern arity mismatch");
   for (std::size_t b = 0; b < patterns.block_count(); ++b) {
     auto values = simulate_block(patterns.block(b));
     sink(b, patterns.valid_mask(b), values);
   }
-}
-
-std::vector<bool> Simulator::simulate_pattern(const Pattern& pattern) {
-  const auto& nl = *netlist_;
-  DETERRENT_ASSERT(pattern.size() == nl.inputs().size(),
-                   "simulate_pattern: arity mismatch");
-  std::vector<std::uint64_t> words(nl.inputs().size());
-  for (std::size_t i = 0; i < words.size(); ++i) words[i] = pattern.test(i) ? ~0ULL : 0ULL;
-  auto values = simulate_block(words);
-  std::vector<bool> out(nl.net_count());
-  for (NetId id = 0; id < nl.net_count(); ++id) out[id] = values[id] & 1ULL;
-  return out;
 }
 
 std::vector<bool> evaluate_naive(const netlist::Netlist& netlist,
@@ -73,16 +34,19 @@ std::vector<bool> evaluate_naive(const netlist::Netlist& netlist,
     values[netlist.inputs()[i]] = input_values[i];
 
   // eval_bool needs contiguous bools; std::vector<bool> is bit-packed, so use
-  // a plain array sized to the widest gate.
-  std::size_t max_arity = 1;
-  for (NetId id = 0; id < netlist.net_count(); ++id)
-    max_arity = std::max(max_arity, netlist.fanins(id).size());
-  const auto fanin_vals = std::make_unique<bool[]>(max_arity);
+  // a plain array grown on demand (amortized — no per-call whole-netlist
+  // arity scan).
+  std::size_t capacity = 8;
+  auto fanin_vals = std::make_unique<bool[]>(capacity);
 
   for (NetId id : netlist.topo_order()) {
     const GateType type = netlist.type(id);
     if (type == GateType::Input) continue;
     const auto fanins = netlist.fanins(id);
+    if (fanins.size() > capacity) {
+      capacity = std::max(capacity * 2, fanins.size());
+      fanin_vals = std::make_unique<bool[]>(capacity);
+    }
     for (std::size_t k = 0; k < fanins.size(); ++k) fanin_vals[k] = values[fanins[k]];
     values[id] =
         netlist::eval_bool(type, std::span<const bool>(fanin_vals.get(), fanins.size()));

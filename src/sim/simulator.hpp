@@ -5,27 +5,37 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/engine.hpp"
 #include "sim/pattern.hpp"
 
 namespace deterrent::sim {
 
-/// Levelized bit-parallel logic simulator: evaluates 64 patterns per pass in
-/// one machine word per net. This is the library's stand-in for commercial
-/// logic simulation (the paper uses Synopsys VCS) and the engine behind
-/// rare-net discovery, compatibility pre-filtering, and coverage evaluation.
+/// Single-word convenience facade over sim::Engine: evaluates 64 patterns per
+/// pass in one machine word per net. Kept for call sites that genuinely work
+/// one block (or one pattern) at a time — greedy mutation loops, SAT model
+/// cross-checks, the sequential simulator. Batch consumers (probability
+/// estimation, signatures, coverage) use the Engine directly with multi-word
+/// sweeps.
 ///
 /// The netlist must be combinational (apply netlist::make_full_scan to
 /// sequential designs first — the standard full-scan assumption of §4.1).
 class Simulator {
  public:
-  explicit Simulator(const netlist::Netlist& netlist);
+  explicit Simulator(const netlist::Netlist& netlist) : engine_(netlist) {}
 
-  const netlist::Netlist& target() const { return *netlist_; }
+  const netlist::Netlist& target() const { return engine_.target(); }
+
+  /// The compiled engine, for callers that mix single-block and batch use
+  /// without paying a second netlist compilation.
+  const Engine& engine() const { return engine_; }
 
   /// Evaluates one block of 64 patterns. `input_words[i]` carries the 64
   /// values of primary input i (bit b = pattern b). Returns one word per net,
   /// indexed by NetId; the span stays valid until the next simulate call.
-  std::span<const std::uint64_t> simulate_block(std::span<const std::uint64_t> input_words);
+  std::span<const std::uint64_t> simulate_block(std::span<const std::uint64_t> input_words) {
+    engine_.evaluate(buf_, input_words, 1);
+    return buf_.flat();
+  }
 
   /// Runs a whole pattern set block by block. The sink receives the block
   /// index, the lane-validity mask (only bits set in it correspond to real
@@ -36,12 +46,13 @@ class Simulator {
 
   /// Single-pattern convenience (used for pattern inspection and SAT model
   /// cross-checks); returns one bool per net.
-  std::vector<bool> simulate_pattern(const Pattern& pattern);
+  std::vector<bool> simulate_pattern(const Pattern& pattern) {
+    return engine_.evaluate_pattern(buf_, pattern);
+  }
 
  private:
-  const netlist::Netlist* netlist_;
-  std::vector<std::uint64_t> values_;   // word per net
-  std::vector<std::uint64_t> scratch_;  // gathered fanin words
+  Engine engine_;
+  EvalBuffer buf_;
 };
 
 /// Naive recursive-free scalar evaluation over the topological order; the

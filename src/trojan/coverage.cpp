@@ -1,8 +1,9 @@
 #include "trojan/coverage.hpp"
 
+#include <algorithm>
 #include <bit>
 
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace deterrent::trojan {
 
@@ -22,27 +23,33 @@ CoverageResult evaluate_coverage(const netlist::Netlist& golden,
   result.first_activation.assign(trojans.size(), CoverageResult::kNever);
   if (trojans.empty() || patterns.empty()) return result;
 
-  sim::Simulator simulator(golden);
+  // Multi-word batches with an early exit once every trojan has fired — the
+  // sweep stops as soon as the last first_activation is known.
+  const sim::Engine engine(golden);
   std::size_t remaining = trojans.size();
-  simulator.simulate(patterns, [&](std::size_t block, std::uint64_t valid_mask,
-                                   std::span<const std::uint64_t> values) {
-    if (remaining == 0) return;
-    for (std::size_t t = 0; t < trojans.size(); ++t) {
-      if (result.first_activation[t] != CoverageResult::kNever) continue;
-      std::uint64_t fired = valid_mask;
-      for (const auto& rn : trojans[t].trigger) {
-        const std::uint64_t at_rare =
-            rn.rare_value ? values[rn.net] : ~values[rn.net];
-        fired &= at_rare;
-        if (fired == 0) break;
-      }
-      if (fired != 0) {
-        const int lane = std::countr_zero(fired);
-        result.first_activation[t] = block * 64 + static_cast<std::size_t>(lane);
-        --remaining;
-      }
-    }
-  });
+  engine.sweep_blocks(
+      patterns, 0, patterns.block_count(),
+      [&](std::size_t first, std::size_t n, const sim::EvalBuffer& buf) {
+        for (std::size_t t = 0; t < trojans.size(); ++t) {
+          if (result.first_activation[t] != CoverageResult::kNever) continue;
+          for (std::size_t w = 0; w < n; ++w) {
+            std::uint64_t fired = patterns.valid_mask(first + w);
+            for (const auto& rn : trojans[t].trigger) {
+              const std::uint64_t value = buf.word(rn.net, w);
+              fired &= rn.rare_value ? value : ~value;
+              if (fired == 0) break;
+            }
+            if (fired != 0) {
+              const int lane = std::countr_zero(fired);
+              result.first_activation[t] =
+                  (first + w) * 64 + static_cast<std::size_t>(lane);
+              --remaining;
+              break;
+            }
+          }
+        }
+        return remaining != 0;
+      });
 
   for (const std::size_t first : result.first_activation)
     if (first != CoverageResult::kNever) ++result.covered;

@@ -28,6 +28,20 @@ class BitVec {
   std::size_t word_count() const { return words_.size(); }
   std::span<const std::uint64_t> words() const { return words_; }
 
+  std::uint64_t word(std::size_t i) const {
+    DETERRENT_ASSERT(i < words_.size(), "BitVec::word out of range");
+    return words_[i];
+  }
+
+  /// Replaces 64 bits at once (bits [64*i, 64*i+64)); the engine-backed
+  /// signature builders write whole simulation words instead of per-bit
+  /// set() calls. Bits beyond size() in the final word are dropped.
+  void set_word(std::size_t i, std::uint64_t value) {
+    DETERRENT_ASSERT(i < words_.size(), "BitVec::set_word out of range");
+    words_[i] = value;
+    if (i + 1 == words_.size()) trim();
+  }
+
   bool test(std::size_t i) const {
     DETERRENT_ASSERT(i < n_bits_, "BitVec::test out of range");
     return (words_[i >> 6] >> (i & 63)) & 1ULL;

@@ -242,6 +242,22 @@ TEST(Compatibility, MatrixBasics) {
   EXPECT_DOUBLE_EQ(m.average_degree(), 2.0 * 1.0 / 4.0);
 }
 
+TEST(Compatibility, EdgeCountCacheInvalidatesOnSet) {
+  CompatibilityMatrix m(6);
+  EXPECT_EQ(m.edge_count(), 0u);
+  m.set(0, 1);
+  m.set(2, 3);
+  EXPECT_EQ(m.edge_count(), 2u);
+  EXPECT_EQ(m.edge_count(), 2u);  // cached path must agree
+  m.set(0, 1, false);
+  EXPECT_EQ(m.edge_count(), 1u);
+  m.set(4, 4);  // diagonal writes invalidate but never add an edge
+  EXPECT_EQ(m.edge_count(), 1u);
+  m.set(4, 5);
+  EXPECT_EQ(m.edge_count(), 2u);
+  EXPECT_DOUBLE_EQ(m.average_degree(), 2.0 * 2.0 / 6.0);
+}
+
 TEST(Compatibility, SignaturesMarkRareActivations) {
   // y1 = AND(a,b) rare at 1; y2 = NOR(a,b) rare at... p=1/4 each (not below
   // 0.1, but signatures don't care about thresholds).

@@ -259,6 +259,53 @@ TEST(Env, EndOfEpisodeUsesFarFewerSatQueries) {
       << "end-of-episode mode must issue fewer SAT calls (Table 1's point)";
 }
 
+/// The simulation-witness shortcut (phase-1 signatures answering joint
+/// satisfiability checks) must leave every observable — rewards, members,
+/// terminal states — bit-identical, and only reduce SAT traffic. (Exact
+/// equivalence assumes the SAT conflict budget never trips, which holds on
+/// these small fixtures; see EnvConfig::witness_signatures.)
+TEST(Env, WitnessSignaturesPreserveResultsAndCutSatQueries) {
+  const Fixture f = make_fixture(40, 300);
+  if (f.rare.size() < 8) GTEST_SKIP();
+  util::Rng sig_rng(40 * 3 + 1);
+  const auto signatures =
+      analysis::rare_activation_signatures(f.netlist, f.rare, 1 << 13, sig_rng);
+
+  for (const RewardMode mode : {RewardMode::AllSteps, RewardMode::EndOfEpisode}) {
+    EnvConfig plain;
+    plain.reward_mode = mode;
+    EnvConfig witnessed = plain;
+    witnessed.witness_signatures = &signatures;
+    CompatibleSetEnv env_plain(f.netlist, f.rare, f.matrix, plain, nullptr);
+    CompatibleSetEnv env_wit(f.netlist, f.rare, f.matrix, witnessed, nullptr);
+
+    util::Rng rng1(9);
+    util::Rng rng2(9);
+    for (int e = 0; e < 3; ++e) {
+      ASSERT_EQ(env_plain.reset(rng1), env_wit.reset(rng2));
+      while (true) {
+        const auto& mask = env_plain.action_mask();
+        ASSERT_EQ(mask, env_wit.action_mask());
+        if (mask.none()) break;
+        const auto action = static_cast<std::uint32_t>(mask.find_first());
+        const auto step_plain = env_plain.step(action);
+        const auto step_wit = env_wit.step(action);
+        ASSERT_EQ(step_plain.reward, step_wit.reward);
+        ASSERT_EQ(step_plain.done, step_wit.done);
+        ASSERT_EQ(step_plain.observation, step_wit.observation);
+        if (step_plain.done) break;
+      }
+      ASSERT_EQ(std::vector<std::uint32_t>(env_plain.members().begin(),
+                                           env_plain.members().end()),
+                std::vector<std::uint32_t>(env_wit.members().begin(),
+                                           env_wit.members().end()));
+    }
+    EXPECT_LE(env_wit.sat_queries(), env_plain.sat_queries());
+    EXPECT_GT(env_wit.witness_hits(), 0u)
+        << "witness shortcut never fired in mode " << static_cast<int>(mode);
+  }
+}
+
 /// Theorem 3.1 as an executable property: every action accepted by an
 /// unmasked agent is available to (and accepted by) the masked agent from
 /// the same start state.
