@@ -9,6 +9,7 @@
 //     some pattern makes the infected outputs differ from the golden ones.
 //
 //   ./trojan_campaign [benchmark_name]
+#include <bit>
 #include <cstdio>
 #include <string>
 
@@ -16,7 +17,7 @@
 #include "baselines/tarmac.hpp"
 #include "bench_gen/library.hpp"
 #include "core/deterrent.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 #include "trojan/coverage.hpp"
 #include "trojan/trojan.hpp"
 #include "util/table.hpp"
@@ -26,24 +27,28 @@ using namespace deterrent;
 namespace {
 
 /// Counts patterns whose primary outputs differ between golden and infected —
-/// i.e. the payload became visible on a pin.
+/// i.e. the payload became visible on a pin. Both netlists are swept in
+/// lock-step 64-pattern blocks; a pattern is exposing when any output word
+/// lane differs.
 std::size_t exposing_patterns(const netlist::Netlist& golden,
                               const netlist::Netlist& infected,
                               const sim::PatternSet& patterns) {
-  sim::Simulator gsim(golden);
-  sim::Simulator isim(infected);
+  const sim::Engine gengine(golden);
+  const sim::Engine iengine(infected);
+  sim::EvalBuffer ibuf;
   std::size_t exposed = 0;
-  for (std::size_t p = 0; p < patterns.pattern_count(); ++p) {
-    const auto pat = patterns.pattern(p);
-    const auto gv = gsim.simulate_pattern(pat);
-    const auto iv = isim.simulate_pattern(pat);
-    for (std::size_t o = 0; o < golden.outputs().size(); ++o) {
-      if (gv[golden.outputs()[o]] != iv[infected.outputs()[o]]) {
-        ++exposed;
-        break;
-      }
+  gengine.sweep(patterns, [&](std::size_t first_block, std::size_t n_words,
+                              const sim::EvalBuffer& gbuf) {
+    iengine.evaluate_blocks(ibuf, patterns, first_block, n_words);
+    for (std::size_t w = 0; w < n_words; ++w) {
+      std::uint64_t differs = 0;
+      for (std::size_t o = 0; o < golden.outputs().size(); ++o)
+        differs |= gbuf.word(golden.outputs()[o], w) ^
+                   ibuf.word(infected.outputs()[o], w);
+      differs &= patterns.valid_mask(first_block + w);
+      exposed += static_cast<std::size_t>(std::popcount(differs));
     }
-  }
+  });
   return exposed;
 }
 

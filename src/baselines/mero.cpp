@@ -8,19 +8,6 @@
 
 namespace deterrent::baselines {
 
-namespace {
-
-/// Rare nets a single pattern activates (index list), given net values.
-std::vector<std::uint32_t> activated_rare(const std::vector<bool>& values,
-                                          std::span<const analysis::RareNet> rare) {
-  std::vector<std::uint32_t> out;
-  for (std::uint32_t i = 0; i < rare.size(); ++i)
-    if (values[rare[i].net] == rare[i].rare_value) out.push_back(i);
-  return out;
-}
-
-}  // namespace
-
 MeroResult run_mero(const netlist::Netlist& netlist,
                     std::span<const analysis::RareNet> rare_nets,
                     const MeroConfig& config, util::Rng& rng) {
@@ -57,61 +44,94 @@ MeroResult run_mero(const netlist::Netlist& netlist,
   std::stable_sort(order.begin(), order.end(),
                    [&](std::uint32_t a, std::uint32_t b) { return scores[a] > scores[b]; });
 
-  // Gain of a candidate = number of still-under-detected rare nets it hits.
-  auto gain_of = [&](const std::vector<bool>& values) {
+  // Gain of the mutant in `lane` of the current value buffer = number of
+  // still-under-detected rare nets it drives to their rare value.
+  auto gain_at_lane = [&](std::size_t lane) {
     std::size_t gain = 0;
     for (std::uint32_t i = 0; i < n_rare; ++i)
       if (result.activation_counts[i] < config.n_detect &&
-          values[rare_nets[i].net] == rare_nets[i].rare_value)
+          (((eval_buf.word(rare_nets[i].net, 0) >> lane) & 1ULL) != 0) ==
+              rare_nets[i].rare_value)
         ++gain;
     return gain;
   };
 
-  std::vector<std::uint64_t> mutant_words(n_inputs);
+  std::vector<std::uint64_t> broadcast(n_inputs);  // incumbent, replicated per lane
+  std::vector<std::uint32_t> dirty_inputs;
+  std::vector<std::uint64_t> dirty_words;
   for (const std::uint32_t p : order) {
     if (config.max_patterns != 0 && result.patterns.pattern_count() >= config.max_patterns)
       break;
 
     sim::Pattern current = pool.pattern(p);
-    std::size_t current_gain = gain_of(engine.evaluate_pattern(eval_buf, current));
+    for (std::size_t i = 0; i < n_inputs; ++i)
+      broadcast[i] = current.test(i) ? ~0ULL : 0ULL;
+    engine.evaluate(eval_buf, broadcast, 1);
+    std::size_t current_gain = gain_at_lane(0);
 
     // Step 2: greedy bit-flip ascent; evaluate 64 single-bit mutants per
-    // simulation pass (lane b = current with bit base+b flipped).
+    // simulation pass (lane b = current with bit base+b flipped). Each pass
+    // re-simulates incrementally: its dirty set restores the previously
+    // flipped window to the incumbent and flips the next one, so only those
+    // fanout cones are re-evaluated instead of the whole program.
     for (std::size_t round = 0; round < config.greedy_rounds; ++round) {
       std::size_t best_bit = n_inputs;
       std::size_t best_gain = current_gain;
+      std::size_t flipped_base = 0, flipped_lanes = 0;  // window flipped in buffer
       for (std::size_t base = 0; base < n_inputs; base += 64) {
         const std::size_t lanes = std::min<std::size_t>(64, n_inputs - base);
-        for (std::size_t i = 0; i < n_inputs; ++i)
-          mutant_words[i] = current.test(i) ? ~0ULL : 0ULL;
-        for (std::size_t lane = 0; lane < lanes; ++lane)
-          mutant_words[base + lane] ^= (1ULL << lane);
-
-        engine.evaluate(eval_buf, mutant_words, 1);
+        dirty_inputs.clear();
+        dirty_words.clear();
+        for (std::size_t lane = 0; lane < flipped_lanes; ++lane) {
+          dirty_inputs.push_back(static_cast<std::uint32_t>(flipped_base + lane));
+          dirty_words.push_back(broadcast[flipped_base + lane]);
+        }
         for (std::size_t lane = 0; lane < lanes; ++lane) {
-          std::size_t gain = 0;
-          for (std::uint32_t i = 0; i < n_rare; ++i) {
-            if (result.activation_counts[i] >= config.n_detect) continue;
-            const bool v = (eval_buf.word(rare_nets[i].net, 0) >> lane) & 1ULL;
-            if (v == rare_nets[i].rare_value) ++gain;
-          }
+          dirty_inputs.push_back(static_cast<std::uint32_t>(base + lane));
+          dirty_words.push_back(broadcast[base + lane] ^ (1ULL << lane));
+        }
+        engine.resimulate(eval_buf, dirty_inputs, dirty_words, 1);
+        flipped_base = base;
+        flipped_lanes = lanes;
+
+        for (std::size_t lane = 0; lane < lanes; ++lane) {
+          const std::size_t gain = gain_at_lane(lane);
           if (gain > best_gain) {
             best_gain = gain;
             best_bit = base + lane;
           }
         }
       }
+
+      // Restore the trailing window and, if a flip improved the gain, apply
+      // it — one incremental pass back to broadcast(current).
+      if (best_bit != n_inputs) {
+        current.set(best_bit, !current.test(best_bit));
+        broadcast[best_bit] = ~broadcast[best_bit];
+      }
+      dirty_inputs.clear();
+      dirty_words.clear();
+      for (std::size_t lane = 0; lane < flipped_lanes; ++lane) {
+        dirty_inputs.push_back(static_cast<std::uint32_t>(flipped_base + lane));
+        dirty_words.push_back(broadcast[flipped_base + lane]);
+      }
+      if (best_bit != n_inputs &&
+          (best_bit < flipped_base || best_bit >= flipped_base + flipped_lanes)) {
+        dirty_inputs.push_back(static_cast<std::uint32_t>(best_bit));
+        dirty_words.push_back(broadcast[best_bit]);
+      }
+      engine.resimulate(eval_buf, dirty_inputs, dirty_words, 1);
       if (best_bit == n_inputs) break;  // local optimum
-      current.set(best_bit, !current.test(best_bit));
       current_gain = best_gain;
     }
 
-    // Step 3: keep the pattern only if it advances N-detection.
+    // Step 3: keep the pattern only if it advances N-detection. The buffer
+    // holds broadcast(current), so lane 0 carries the final pattern's values.
     if (current_gain == 0) continue;
-    const auto activated =
-        activated_rare(engine.evaluate_pattern(eval_buf, current), rare_nets);
     result.patterns.push(current);
-    for (const std::uint32_t i : activated) ++result.activation_counts[i];
+    for (std::uint32_t i = 0; i < n_rare; ++i)
+      if (((eval_buf.word(rare_nets[i].net, 0) & 1ULL) != 0) == rare_nets[i].rare_value)
+        ++result.activation_counts[i];
 
     const bool all_done = std::all_of(
         result.activation_counts.begin(), result.activation_counts.end(),

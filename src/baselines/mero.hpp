@@ -29,6 +29,16 @@ struct MeroResult {
   bool n_detect_satisfied = false;             ///< all rare nets reached N
 };
 
+/// Runs the MERO pipeline: pool scoring rides the batch engine (W-word
+/// sweeps); the greedy bit-flip ascent rides Engine::resimulate, so each
+/// 64-mutant pass re-evaluates only the fanout cones of the window being
+/// flipped instead of the whole program.
+///
+/// Preconditions: `netlist` is combinational (full-scan applied) and every
+/// rare net id is in range. Deterministic for a given (netlist, rare_nets,
+/// config, rng state); the incremental routing is bit-identical to full
+/// re-simulation. Not thread-safe w.r.t. the shared `rng`; run whole calls
+/// on separate Rng instances to parallelize.
 MeroResult run_mero(const netlist::Netlist& netlist,
                     std::span<const analysis::RareNet> rare_nets,
                     const MeroConfig& config, util::Rng& rng);

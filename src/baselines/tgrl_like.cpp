@@ -43,7 +43,32 @@ TgrlLikeResult run_tgrl_like(const netlist::Netlist& netlist,
     return w;
   };
 
+  // The mutation loop keeps eval_buf warm across rounds and candidates: each
+  // pass hands the engine only the input words that differ from the previous
+  // pass, and resimulate re-evaluates just their fanout cones (falling back
+  // to a dense sweep automatically when most inputs changed, as is typical
+  // for the all-input probabilistic mutants below).
   std::vector<std::uint64_t> words(n_inputs);
+  std::vector<std::uint64_t> prev_words;
+  std::vector<std::uint32_t> dirty_inputs;
+  std::vector<std::uint64_t> dirty_words;
+  auto simulate_words = [&]() {
+    if (prev_words.empty()) {
+      engine.evaluate(eval_buf, words, 1);
+      prev_words = words;
+      return;
+    }
+    dirty_inputs.clear();
+    dirty_words.clear();
+    for (std::size_t i = 0; i < n_inputs; ++i)
+      if (words[i] != prev_words[i]) {
+        dirty_inputs.push_back(static_cast<std::uint32_t>(i));
+        dirty_words.push_back(words[i]);
+      }
+    engine.resimulate(eval_buf, dirty_inputs, dirty_words, 1);
+    prev_words = words;
+  };
+
   while (result.patterns.pattern_count() < config.n_patterns) {
     sim::Pattern current(n_inputs);
     for (std::size_t i = 0; i < n_inputs; ++i) current.set(i, rng.bernoulli(0.5));
@@ -56,7 +81,7 @@ TgrlLikeResult run_tgrl_like(const netlist::Netlist& netlist,
         w ^= (sparse_word() & ~1ULL);
         words[i] = w;
       }
-      engine.evaluate(eval_buf, words, 1);
+      simulate_words();
 
       double best_score = -1.0;
       int best_lane = 0;
@@ -80,9 +105,14 @@ TgrlLikeResult run_tgrl_like(const netlist::Netlist& netlist,
       current_score = std::max(current_score, best_score);
     }
 
-    const auto values = engine.evaluate_pattern(eval_buf, current);
+    // Final tally for the emitted pattern: broadcast it across all lanes via
+    // one more incremental pass and read lane 0.
+    for (std::size_t i = 0; i < n_inputs; ++i)
+      words[i] = current.test(i) ? ~0ULL : 0ULL;
+    simulate_words();
     for (std::size_t i = 0; i < n_rare; ++i)
-      if (values[rare_nets[i].net] == rare_nets[i].rare_value) ++activation_counts[i];
+      if (((eval_buf.word(rare_nets[i].net, 0) & 1ULL) != 0) == rare_nets[i].rare_value)
+        ++activation_counts[i];
     result.patterns.push(current);
     result.pattern_scores.push_back(current_score);
   }

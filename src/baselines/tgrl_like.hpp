@@ -37,6 +37,16 @@ struct TgrlLikeResult {
   std::vector<double> pattern_scores;
 };
 
+/// Runs the TGRL-like stochastic hill climber. Each mutant round hands the
+/// engine only the input words that changed since the previous round
+/// (Engine::resimulate); the engine falls back to a dense sweep on its own
+/// when the probabilistic mutants touch most inputs, so the routing is never
+/// slower than full re-evaluation and bit-identical to it.
+///
+/// Preconditions: `netlist` is combinational, `scoap` was computed for the
+/// same netlist, rare net ids are in range. Deterministic for a given
+/// (netlist, rare_nets, scoap, config, rng state). Not thread-safe w.r.t.
+/// the shared `rng`.
 TgrlLikeResult run_tgrl_like(const netlist::Netlist& netlist,
                              std::span<const analysis::RareNet> rare_nets,
                              const analysis::ScoapValues& scoap,

@@ -1,6 +1,7 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <type_traits>
 
 #include "util/assert.hpp"
@@ -94,103 +95,134 @@ Engine::Engine(const netlist::Netlist& netlist) : netlist_(&netlist) {
     a_.push_back(a);
     b_.push_back(b);
   }
+
+  // Incremental-mode side table: for each net, the program entries it feeds
+  // (CSR). In a combinational netlist every fanout of a net is a gate, so
+  // this is the netlist's fanout list translated to op indices once, sparing
+  // resimulate a per-event netlist indirection.
+  std::vector<std::uint32_t> net_to_op(netlist.net_count(), kNoOp);
+  for (std::size_t k = 0; k < op_.size(); ++k)
+    net_to_op[out_[k]] = static_cast<std::uint32_t>(k);
+  fanout_op_offset_.assign(netlist.net_count() + 1, 0);
+  for (NetId n = 0; n < netlist.net_count(); ++n) {
+    std::uint32_t count = 0;
+    for (const NetId fo : netlist.fanouts(n))
+      if (net_to_op[fo] != kNoOp) ++count;
+    fanout_op_offset_[n + 1] = fanout_op_offset_[n] + count;
+  }
+  fanout_ops_.resize(fanout_op_offset_.back());
+  for (NetId n = 0; n < netlist.net_count(); ++n) {
+    std::uint32_t at = fanout_op_offset_[n];
+    for (const NetId fo : netlist.fanouts(n))
+      if (net_to_op[fo] != kNoOp) fanout_ops_[at++] = net_to_op[fo];
+  }
 }
 
 /// The evaluation loop, generic over the word count. WordCount is either a
 /// std::integral_constant (fully unrolled inner loops for the common sweep
-/// widths) or std::size_t (arbitrary tail batches).
+/// widths) or std::size_t (arbitrary tail batches). Evaluating in place is
+/// safe: a combinational gate never reads its own output.
 template <typename WordCount>
 void Engine::run_program(std::uint64_t* v, WordCount n_words) const {
-  const std::size_t W = n_words;
   const std::size_t n_ops = op_.size();
-  for (std::size_t k = 0; k < n_ops; ++k) {
-    std::uint64_t* out = v + std::size_t{out_[k]} * W;
-    const std::uint64_t* a = v + std::size_t{a_[k]} * W;
-    switch (op_[k]) {
-      case Op::Const0:
-        for (std::size_t w = 0; w < W; ++w) out[w] = 0;
-        break;
-      case Op::Const1:
-        for (std::size_t w = 0; w < W; ++w) out[w] = ~0ULL;
-        break;
-      case Op::Buf:
-        for (std::size_t w = 0; w < W; ++w) out[w] = a[w];
-        break;
-      case Op::Not:
-        for (std::size_t w = 0; w < W; ++w) out[w] = ~a[w];
-        break;
-      case Op::And2: {
-        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] = a[w] & b[w];
-        break;
+  for (std::size_t k = 0; k < n_ops; ++k)
+    eval_op(k, v, v + std::size_t{out_[k]} * std::size_t{n_words}, n_words);
+}
+
+/// Evaluates program entry k against the value buffer `v`, writing the W
+/// result words to `out`. Aliasing `out` with v's slot for out_[k] is fine
+/// (a combinational gate never reads its own output) and is what run_program
+/// does; resimulate instead passes separate scratch — not for safety, but so
+/// it can compare old and new words for the change cut-off.
+template <typename WordCount>
+void Engine::eval_op(std::size_t k, const std::uint64_t* v, std::uint64_t* out,
+                     WordCount n_words) const {
+  const std::size_t W = n_words;
+  const std::uint64_t* a = v + std::size_t{a_[k]} * W;
+  switch (op_[k]) {
+    case Op::Const0:
+      for (std::size_t w = 0; w < W; ++w) out[w] = 0;
+      break;
+    case Op::Const1:
+      for (std::size_t w = 0; w < W; ++w) out[w] = ~0ULL;
+      break;
+    case Op::Buf:
+      for (std::size_t w = 0; w < W; ++w) out[w] = a[w];
+      break;
+    case Op::Not:
+      for (std::size_t w = 0; w < W; ++w) out[w] = ~a[w];
+      break;
+    case Op::And2: {
+      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+      for (std::size_t w = 0; w < W; ++w) out[w] = a[w] & b[w];
+      break;
+    }
+    case Op::Nand2: {
+      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+      for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] & b[w]);
+      break;
+    }
+    case Op::Or2: {
+      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+      for (std::size_t w = 0; w < W; ++w) out[w] = a[w] | b[w];
+      break;
+    }
+    case Op::Nor2: {
+      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+      for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] | b[w]);
+      break;
+    }
+    case Op::Xor2: {
+      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+      for (std::size_t w = 0; w < W; ++w) out[w] = a[w] ^ b[w];
+      break;
+    }
+    case Op::Xnor2: {
+      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
+      for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] ^ b[w]);
+      break;
+    }
+    case Op::AndN:
+    case Op::NandN: {
+      const NetId* f = nary_fanins_.data() + a_[k];
+      const std::uint32_t cnt = b_[k];
+      const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
+      for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
+      for (std::uint32_t j = 1; j < cnt; ++j) {
+        const std::uint64_t* fj = v + std::size_t{f[j]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] &= fj[w];
       }
-      case Op::Nand2: {
-        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] & b[w]);
-        break;
+      if (op_[k] == Op::NandN)
+        for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
+      break;
+    }
+    case Op::OrN:
+    case Op::NorN: {
+      const NetId* f = nary_fanins_.data() + a_[k];
+      const std::uint32_t cnt = b_[k];
+      const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
+      for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
+      for (std::uint32_t j = 1; j < cnt; ++j) {
+        const std::uint64_t* fj = v + std::size_t{f[j]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] |= fj[w];
       }
-      case Op::Or2: {
-        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] = a[w] | b[w];
-        break;
+      if (op_[k] == Op::NorN)
+        for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
+      break;
+    }
+    case Op::XorN:
+    case Op::XnorN: {
+      const NetId* f = nary_fanins_.data() + a_[k];
+      const std::uint32_t cnt = b_[k];
+      const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
+      for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
+      for (std::uint32_t j = 1; j < cnt; ++j) {
+        const std::uint64_t* fj = v + std::size_t{f[j]} * W;
+        for (std::size_t w = 0; w < W; ++w) out[w] ^= fj[w];
       }
-      case Op::Nor2: {
-        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] | b[w]);
-        break;
-      }
-      case Op::Xor2: {
-        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] = a[w] ^ b[w];
-        break;
-      }
-      case Op::Xnor2: {
-        const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] ^ b[w]);
-        break;
-      }
-      case Op::AndN:
-      case Op::NandN: {
-        const NetId* f = nary_fanins_.data() + a_[k];
-        const std::uint32_t cnt = b_[k];
-        const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
-        for (std::uint32_t j = 1; j < cnt; ++j) {
-          const std::uint64_t* fj = v + std::size_t{f[j]} * W;
-          for (std::size_t w = 0; w < W; ++w) out[w] &= fj[w];
-        }
-        if (op_[k] == Op::NandN)
-          for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
-        break;
-      }
-      case Op::OrN:
-      case Op::NorN: {
-        const NetId* f = nary_fanins_.data() + a_[k];
-        const std::uint32_t cnt = b_[k];
-        const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
-        for (std::uint32_t j = 1; j < cnt; ++j) {
-          const std::uint64_t* fj = v + std::size_t{f[j]} * W;
-          for (std::size_t w = 0; w < W; ++w) out[w] |= fj[w];
-        }
-        if (op_[k] == Op::NorN)
-          for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
-        break;
-      }
-      case Op::XorN:
-      case Op::XnorN: {
-        const NetId* f = nary_fanins_.data() + a_[k];
-        const std::uint32_t cnt = b_[k];
-        const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
-        for (std::uint32_t j = 1; j < cnt; ++j) {
-          const std::uint64_t* fj = v + std::size_t{f[j]} * W;
-          for (std::size_t w = 0; w < W; ++w) out[w] ^= fj[w];
-        }
-        if (op_[k] == Op::XnorN)
-          for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
-        break;
-      }
+      if (op_[k] == Op::XnorN)
+        for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
+      break;
     }
   }
 }
@@ -217,6 +249,109 @@ void Engine::evaluate(EvalBuffer& buf, std::span<const std::uint64_t> input_word
     std::copy_n(input_words.data() + i * n_words, n_words,
                 v + std::size_t{inputs[i]} * n_words);
   run(v, n_words);
+  buf.owner_ = this;
+}
+
+template <typename WordCount>
+std::size_t Engine::resimulate_run(EvalBuffer& buf,
+                                   std::span<const std::uint32_t> dirty_inputs,
+                                   std::span<const std::uint64_t> dirty_words,
+                                   WordCount n_words) const {
+  const std::size_t W = n_words;
+  const auto inputs = netlist_->inputs();
+  std::uint64_t* v = buf.values_.data();
+
+  // One bit per program entry; ~n_ops/8 bytes, L1-resident for typical
+  // circuits. Bits are cleared as they are drained, so between calls the
+  // mask is guaranteed all-zero and never needs a reset.
+  const std::size_t mask_words = (op_.size() + 63) / 64;
+  if (buf.dirty_ops_.size() < mask_words) buf.dirty_ops_.resize(mask_words, 0);
+  std::uint64_t* mask = buf.dirty_ops_.data();
+
+  std::size_t min_word = mask_words, max_word = 0;
+  const auto schedule_fanouts = [&](NetId net) {
+    const std::uint32_t* fo = fanout_ops_.data() + fanout_op_offset_[net];
+    const std::uint32_t* end = fanout_ops_.data() + fanout_op_offset_[net + 1];
+    for (; fo != end; ++fo) {
+      const std::size_t word = *fo >> 6;
+      mask[word] |= 1ULL << (*fo & 63);
+      min_word = std::min(min_word, word);
+      max_word = std::max(max_word, word);
+    }
+  };
+
+  for (std::size_t j = 0; j < dirty_inputs.size(); ++j) {
+    DETERRENT_ASSERT(dirty_inputs[j] < inputs.size(),
+                     "resimulate: dirty input ordinal out of range");
+    const NetId net = inputs[dirty_inputs[j]];
+    std::uint64_t* dst = v + std::size_t{net} * W;
+    const std::uint64_t* src = dirty_words.data() + j * W;
+    if (std::equal(src, src + W, dst)) continue;  // no actual change
+    std::copy_n(src, W, dst);
+    schedule_fanouts(net);
+  }
+
+  buf.op_scratch_.resize(W);
+  std::uint64_t* tmp = buf.op_scratch_.data();
+  std::size_t evaluated = 0;
+  // Program order is topological, so every op scheduled by a change sits at
+  // a strictly larger index: one ascending scan of the mask drains the whole
+  // worklist. Re-reading mask[word] after each pop picks up same-word
+  // schedules at higher bit positions.
+  for (std::size_t word = min_word; word <= max_word && word < mask_words; ++word) {
+    while (mask[word] != 0) {
+      const int bit = std::countr_zero(mask[word]);
+      mask[word] &= mask[word] - 1;
+      const std::size_t k = word * 64 + static_cast<std::size_t>(bit);
+      eval_op(k, v, tmp, n_words);
+      ++evaluated;
+      std::uint64_t* out = v + std::size_t{out_[k]} * W;
+      if (std::equal(tmp, tmp + W, out)) continue;  // change cut-off
+      std::copy_n(tmp, W, out);
+      schedule_fanouts(out_[k]);
+    }
+  }
+  return evaluated;
+}
+
+std::size_t Engine::resimulate(EvalBuffer& buf,
+                               std::span<const std::uint32_t> dirty_inputs,
+                               std::span<const std::uint64_t> dirty_words,
+                               std::size_t n_words) const {
+  const auto inputs = netlist_->inputs();
+  DETERRENT_ASSERT(buf.primed_for(*this),
+                   "resimulate: buffer was not primed by this engine");
+  DETERRENT_ASSERT(buf.words_ == n_words && buf.nets_ == netlist_->net_count(),
+                   "resimulate: buffer shape does not match the primed sweep");
+  DETERRENT_ASSERT(dirty_words.size() == dirty_inputs.size() * n_words,
+                   "resimulate: dirty word count mismatch");
+
+  // Dense fallback: with this many dirty inputs the union cone is almost
+  // certainly the whole program, and the per-op scheduling overhead would
+  // make the "incremental" path slower than a straight sweep.
+  if (dirty_inputs.size() * kDenseFallbackDivisor >= inputs.size()) {
+    std::uint64_t* v = buf.values_.data();
+    for (std::size_t j = 0; j < dirty_inputs.size(); ++j) {
+      DETERRENT_ASSERT(dirty_inputs[j] < inputs.size(),
+                       "resimulate: dirty input ordinal out of range");
+      std::copy_n(dirty_words.data() + j * n_words, n_words,
+                  v + std::size_t{inputs[dirty_inputs[j]]} * n_words);
+    }
+    run(v, n_words);
+    return op_.size();
+  }
+
+  switch (n_words) {
+    case 1: return resimulate_run(buf, dirty_inputs, dirty_words,
+                                  std::integral_constant<std::size_t, 1>{});
+    case 2: return resimulate_run(buf, dirty_inputs, dirty_words,
+                                  std::integral_constant<std::size_t, 2>{});
+    case 4: return resimulate_run(buf, dirty_inputs, dirty_words,
+                                  std::integral_constant<std::size_t, 4>{});
+    case 8: return resimulate_run(buf, dirty_inputs, dirty_words,
+                                  std::integral_constant<std::size_t, 8>{});
+    default: return resimulate_run(buf, dirty_inputs, dirty_words, n_words);
+  }
 }
 
 void Engine::evaluate_blocks(EvalBuffer& buf, const PatternSet& patterns,
@@ -234,6 +369,7 @@ void Engine::evaluate_blocks(EvalBuffer& buf, const PatternSet& patterns,
       v[std::size_t{inputs[i]} * n_words + w] = block[i];
   }
   run(v, n_words);
+  buf.owner_ = this;
 }
 
 void Engine::sweep(const PatternSet& patterns,

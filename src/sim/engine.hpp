@@ -17,11 +17,21 @@ class Engine;
 /// buffer each (one per worker thread in parallel sweeps); the Engine only
 /// writes into it, so a single compiled Engine is safely shared across
 /// threads.
+///
+/// A buffer filled by Engine::evaluate / evaluate_blocks is *primed*: it
+/// holds a complete, consistent value set for every net and can serve as the
+/// base state of Engine::resimulate. The incremental scratch state (dirty
+/// stamps, level worklists) also lives here, so concurrent mutation loops
+/// need one buffer per thread but can still share one compiled Engine.
 class EvalBuffer {
  public:
   /// Words per net of the most recent evaluation (the W of that call).
   std::size_t words() const { return words_; }
   std::size_t net_count() const { return nets_; }
+
+  /// True when this buffer was last filled by `engine` (via evaluate or
+  /// evaluate_blocks) and therefore is a valid resimulate() base state.
+  bool primed_for(const Engine& engine) const { return owner_ == &engine; }
 
   /// The W value words of one net: word w carries patterns [w*64, w*64+64) of
   /// the evaluated batch.
@@ -50,6 +60,13 @@ class EvalBuffer {
   std::vector<std::uint64_t> inputs_scratch_;  // single-pattern input staging
   std::size_t nets_ = 0;
   std::size_t words_ = 0;
+
+  // Incremental re-simulation scratch (see Engine::resimulate). The op
+  // bitmask doubles as worklist and dedup set; every bit is cleared as it is
+  // drained, so the mask is all-zero between calls and never needs a reset.
+  const Engine* owner_ = nullptr;          // engine that last primed values_
+  std::vector<std::uint64_t> dirty_ops_;   // one bit per program entry
+  std::vector<std::uint64_t> op_scratch_;  // W-word temp for change detection
 };
 
 /// Batch logic-simulation engine: compiles a netlist once into a flat,
@@ -65,6 +82,20 @@ class EvalBuffer {
 /// and evaluates a disjoint range of pattern blocks (see
 /// sim::estimate_signal_stats for the canonical stripe loop).
 ///
+/// Incremental re-simulation: mutation loops (MERO's greedy bit flips, the
+/// TGRL hill climber, trigger checks on evolving patterns) change only a few
+/// input words between sweeps. resimulate() re-evaluates just the transitive
+/// fanout cone of the dirty inputs against the previous value buffer — event
+/// driven in ascending program order via an L1-resident op bitmask, with a
+/// change cut-off that stops propagation as soon as a gate's output words
+/// are unchanged. Results are bit-identical to a full evaluate() of the same
+/// input state.
+///
+/// Thread safety: every method is const and touches only the caller's
+/// EvalBuffer (including resimulate's worklist scratch), so one compiled
+/// Engine may be used from many threads concurrently as long as each thread
+/// owns its buffer.
+///
 /// The netlist must be combinational (apply netlist::make_full_scan first).
 class Engine {
  public:
@@ -78,12 +109,42 @@ class Engine {
   const netlist::Netlist& target() const { return *netlist_; }
 
   /// Evaluates n_words blocks at once. `input_words` is input-major: word w
-  /// of primary input i at [i * n_words + w]. Results land in `buf`.
+  /// of primary input i at [i * n_words + w]. Results land in `buf`, which
+  /// afterwards is primed for resimulate().
   void evaluate(EvalBuffer& buf, std::span<const std::uint64_t> input_words,
                 std::size_t n_words) const;
 
+  /// Incrementally re-evaluates `buf` after a sparse input change.
+  ///
+  /// `dirty_inputs[j]` is an index into target().inputs() (the input
+  /// *ordinal*, not a NetId) whose new value words are
+  /// `dirty_words[j * n_words .. j * n_words + n_words)`; undirtied inputs
+  /// keep the words already in `buf`. Only gates in the transitive fanout
+  /// cone of inputs whose value actually changed are re-evaluated, and
+  /// propagation stops early wherever a re-evaluated gate reproduces its old
+  /// output words. When the dirty set is a large fraction of the inputs the
+  /// call falls back to a full program sweep (same results, no worklist
+  /// overhead), so resimulate is never asymptotically worse than evaluate.
+  ///
+  /// Preconditions (checked): `buf` was primed by *this* engine via
+  /// evaluate()/evaluate_blocks() or a prior resimulate(), with the same
+  /// n_words. The priming check is pointer identity, so do not carry a
+  /// buffer across the lifetime of its engine — a new engine at the same
+  /// address cannot be told apart from the one that primed the buffer.
+  /// Duplicate entries in `dirty_inputs` are allowed; the last one wins.
+  /// Determinism: the resulting buffer is bit-identical to a full
+  /// evaluate() of the updated input state, for every net and word.
+  ///
+  /// Returns the number of gate evaluations performed (program size when the
+  /// dense fallback was taken) — useful for benchmarks and activity stats.
+  std::size_t resimulate(EvalBuffer& buf,
+                         std::span<const std::uint32_t> dirty_inputs,
+                         std::span<const std::uint64_t> dirty_words,
+                         std::size_t n_words) const;
+
   /// Evaluates blocks [first_block, first_block + n_words) of a PatternSet,
-  /// gathering the input words directly from the set's block storage.
+  /// gathering the input words directly from the set's block storage. Primes
+  /// `buf` for resimulate().
   void evaluate_blocks(EvalBuffer& buf, const PatternSet& patterns,
                        std::size_t first_block, std::size_t n_words) const;
 
@@ -141,9 +202,23 @@ class Engine {
     XnorN,
   };
 
+  /// Dirty fraction of the inputs beyond which resimulate() abandons the
+  /// event-driven worklist for a plain full sweep (the union cone is almost
+  /// certainly the whole program at that point).
+  static constexpr std::size_t kDenseFallbackDivisor = 4;
+  static constexpr std::uint32_t kNoOp = 0xffffffffu;
+
   void run(std::uint64_t* values, std::size_t n_words) const;
   template <typename WordCount>
   void run_program(std::uint64_t* values, WordCount n_words) const;
+  template <typename WordCount>
+  void eval_op(std::size_t k, const std::uint64_t* v, std::uint64_t* out,
+               WordCount n_words) const;
+  template <typename WordCount>
+  std::size_t resimulate_run(EvalBuffer& buf,
+                             std::span<const std::uint32_t> dirty_inputs,
+                             std::span<const std::uint64_t> dirty_words,
+                             WordCount n_words) const;
 
   const netlist::Netlist* netlist_;
   // One entry per combinational cell, in (levelized) topological order.
@@ -152,6 +227,12 @@ class Engine {
   std::vector<std::uint32_t> a_;  // fanin 0, or CSR offset for *N ops
   std::vector<std::uint32_t> b_;  // fanin 1, or fanin count for *N ops
   std::vector<netlist::NetId> nary_fanins_;  // CSR pool for *N ops
+  // Incremental-mode side table, built at compile time: program entries fed
+  // by each net, CSR-indexed. Program order is topological, so an op's
+  // fanout ops always have larger indices — an ascending scan of the dirty
+  // bitmask is a valid (re-)evaluation order.
+  std::vector<std::uint32_t> fanout_op_offset_;  // size net_count()+1
+  std::vector<std::uint32_t> fanout_ops_;
 };
 
 }  // namespace deterrent::sim

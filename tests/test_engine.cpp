@@ -257,6 +257,173 @@ TEST(Engine, SignaturesMatchPerPatternSimulation) {
   }
 }
 
+// ------------------------------------------------ incremental resimulate ---
+
+std::vector<std::uint64_t> random_input_words(std::size_t n_inputs, std::size_t words,
+                                              util::Rng& rng) {
+  std::vector<std::uint64_t> v(n_inputs * words);
+  for (auto& w : v) w = rng.next_word();
+  return v;
+}
+
+/// (seed, words_per_sweep) — long mutate/resimulate chains with dirty sets of
+/// varying size (single-bit, multi-bit, near-dense) must stay bit-identical
+/// to a from-scratch evaluate of the same input state, for every net & word.
+class EngineIncremental
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(EngineIncremental, ChainMatchesFullEvaluate) {
+  const auto [seed, words] = GetParam();
+  const Netlist nl = random_circuit(seed, 250, 16);
+  const Engine engine(nl);
+  const std::size_t n_inputs = nl.inputs().size();
+  util::Rng rng(seed * 977 + 5);
+
+  auto inputs = random_input_words(n_inputs, words, rng);
+  EvalBuffer inc, full;
+  engine.evaluate(inc, inputs, words);
+  ASSERT_TRUE(inc.primed_for(engine));
+
+  const std::size_t dirty_sizes[] = {1, 1, 2, 5, 1, n_inputs, 3, 1};
+  for (int step = 0; step < 40; ++step) {
+    const std::size_t n_dirty = dirty_sizes[step % std::size(dirty_sizes)];
+    std::vector<std::uint32_t> dirty;
+    std::vector<std::uint64_t> dirty_words;
+    for (std::size_t j = 0; j < n_dirty; ++j) {
+      const auto i = static_cast<std::uint32_t>(rng.below(n_inputs));
+      dirty.push_back(i);
+      for (std::size_t w = 0; w < words; ++w) {
+        // Occasionally re-submit the unchanged value to exercise the
+        // no-actual-change skip.
+        const std::uint64_t nw =
+            rng.bernoulli(0.2) ? inputs[i * words + w] : rng.next_word();
+        dirty_words.push_back(nw);
+        inputs[i * words + w] = nw;  // duplicates: later entries win, as spec'd
+      }
+    }
+    const std::size_t evaluated = engine.resimulate(inc, dirty, dirty_words, words);
+    EXPECT_LE(evaluated, nl.gate_count());
+
+    engine.evaluate(full, inputs, words);
+    ASSERT_EQ(std::vector<std::uint64_t>(inc.flat().begin(), inc.flat().end()),
+              std::vector<std::uint64_t>(full.flat().begin(), full.flat().end()))
+        << "step " << step << " dirty " << n_dirty << " words " << words;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByWidth, EngineIncremental,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{8})));
+
+/// Every gate type / arity under single-bit resimulation: a one-gate netlist
+/// walked through all input combinations one bit flip at a time (Gray code)
+/// must match the naive oracle at each step.
+class EngineIncrementalGateTypes
+    : public ::testing::TestWithParam<std::tuple<GateType, std::size_t>> {};
+
+TEST_P(EngineIncrementalGateTypes, GrayWalkMatchesNaive) {
+  const auto [type, arity] = GetParam();
+  if ((type == GateType::Buf || type == GateType::Not) && arity != 1)
+    GTEST_SKIP() << "unary gates only take one fanin";
+  NetlistBuilder b;
+  std::vector<NetId> ins;
+  for (std::size_t i = 0; i < arity; ++i) ins.push_back(b.add_input());
+  const NetId y = b.add_gate(type, ins);
+  b.mark_output(y);
+  const Netlist nl = b.build();
+  const Engine engine(nl);
+
+  std::vector<std::uint64_t> words(arity, 0);  // start at all-zero, W = 1
+  EvalBuffer buf;
+  engine.evaluate(buf, words, 1);
+  std::size_t code = 0;
+  for (std::size_t step = 1; step < (std::size_t{1} << arity); ++step) {
+    const std::size_t next = step ^ (step >> 1);  // Gray walk over all combos
+    const auto bit = static_cast<std::uint32_t>(std::countr_zero(code ^ next));
+    code = next;
+    words[bit] = ~words[bit];
+    engine.resimulate(buf, {&bit, 1}, {&words[bit], 1}, 1);
+
+    std::vector<bool> in_bits(arity);
+    for (std::size_t i = 0; i < arity; ++i) in_bits[i] = words[i] & 1ULL;
+    const auto want = evaluate_naive(nl, in_bits);
+    for (NetId id = 0; id < nl.net_count(); ++id)
+      ASSERT_EQ(bool(buf.word(id, 0) & 1ULL), want[id])
+          << netlist::to_string(type) << " arity " << arity << " step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, EngineIncrementalGateTypes,
+    ::testing::Combine(::testing::Values(GateType::And, GateType::Nand, GateType::Or,
+                                         GateType::Nor, GateType::Xor, GateType::Xnor,
+                                         GateType::Buf, GateType::Not),
+                       ::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{3}, std::size_t{5})));
+
+TEST(Engine, ResimulateSingleBitTouchesSubsetOfProgram) {
+  // On a circuit with many inputs, a single-bit flip must re-evaluate a
+  // proper subset of the program — the whole point of the incremental mode.
+  const Netlist nl = random_circuit(12, 2000, 64);
+  const Engine engine(nl);
+  util::Rng rng(42);
+  auto inputs = random_input_words(nl.inputs().size(), 1, rng);
+  EvalBuffer buf;
+  engine.evaluate(buf, inputs, 1);
+  std::size_t total = 0;
+  for (std::uint32_t bit = 0; bit < 32; ++bit) {
+    inputs[bit] = ~inputs[bit];
+    total += engine.resimulate(buf, {&bit, 1}, {&inputs[bit], 1}, 1);
+  }
+  EXPECT_LT(total, 32 * nl.gate_count());
+}
+
+TEST(EngineDeath, ResimulateRequiresPrimedBuffer) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const Netlist nl = random_circuit(5);
+  const Engine engine(nl);
+  EvalBuffer unprimed;
+  const std::uint32_t bit = 0;
+  const std::uint64_t word = ~0ULL;
+  EXPECT_DEATH(engine.resimulate(unprimed, {&bit, 1}, {&word, 1}, 1),
+               "primed");
+}
+
+TEST(Engine, IncrementalTriggerCheckerMatchesEvaluateCoverage) {
+  const Netlist nl = random_circuit(31, 200, 10);
+  util::Rng stats_rng(3);
+  const auto stats = estimate_signal_stats(nl, 4096, stats_rng);
+  analysis::RareNetConfig rcfg;
+  rcfg.threshold = 0.4;
+  const auto rare = analysis::find_rare_nets(nl, stats, rcfg);
+  ASSERT_GE(rare.size(), 4u);
+  std::vector<trojan::Trojan> trojans;
+  for (std::size_t i = 0; i + 1 < rare.size() && trojans.size() < 12; i += 2)
+    trojans.push_back({{rare[i], rare[i + 1]}, 0});
+
+  trojan::IncrementalTriggerChecker checker(nl, trojans);
+  util::Rng rng(321);
+  Pattern pattern(nl.inputs().size());
+  for (std::size_t i = 0; i < pattern.size(); ++i) pattern.set(i, rng.bernoulli(0.5));
+  for (int step = 0; step < 60; ++step) {
+    const auto& fired = checker.check(pattern);
+    PatternSet single(nl.inputs().size());
+    single.push(pattern);
+    const auto reference = trojan::evaluate_coverage(nl, trojans, single);
+    for (std::size_t t = 0; t < trojans.size(); ++t)
+      ASSERT_EQ(fired[t], reference.first_activation[t] == 0)
+          << "trojan " << t << " step " << step;
+    // Mutate 1–3 bits for the next round, as a search loop would.
+    const std::size_t flips = 1 + rng.below(3);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t bit = rng.below(pattern.size());
+      pattern.set(bit, !pattern.test(bit));
+    }
+  }
+}
+
 // -------------------------------------------------------------- coverage ---
 
 TEST(Engine, CoverageMatchesNaivePerPattern) {
