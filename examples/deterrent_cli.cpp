@@ -1,25 +1,42 @@
-// deterrent_cli — command-line front-end to the full pipeline.
+// deterrent_cli — command-line front-end to the staged pipeline.
 //
+// One-shot commands:
 //   deterrent_cli analyze  <bench|name>                      rare-net census
 //   deterrent_cli generate <bench|name> -o patterns.txt      DETERRENT patterns
 //   deterrent_cli evaluate <bench|name> -p patterns.txt      coverage vs random HTs
 //   deterrent_cli export   <name> -o design.bench            write a built-in profile
 //
+// Staged commands (checkpointed in a --session directory; any stage can be
+// interrupted and later resumed bit-identically):
+//   deterrent_cli prepare  <bench|name> --session DIR        rare nets + matrix
+//   deterrent_cli train    <bench|name> --session DIR        PPO updates (resumable)
+//   deterrent_cli extract  <bench|name> --session DIR        SAT pattern extraction
+//   deterrent_cli resume   <bench|name> --session DIR        run remaining stages
+//   deterrent_cli campaign <name,name,...|all>               multi-circuit driver
+//
 // <bench|name> is either a built-in profile (c2670_like, …, mips16_like) or a
 // path to an ISCAS `.bench` file. Common flags:
-//   --threshold <θ>   rareness threshold          (default 0.1)
-//   --updates <n>     PPO updates                 (default 30)
-//   --k <n>           patterns to extract         (default 64)
-//   --width <w>       trigger width for evaluate  (default 4)
-//   --trojans <n>     HT population for evaluate  (default 100)
-//   --seed <s>        master seed                 (default 1)
+//   --threshold <θ>        rareness threshold           (default 0.1)
+//   --updates <n>          PPO updates                  (default 30)
+//   --k <n>                patterns to extract          (default 64)
+//   --width <w>            trigger width for evaluate   (default 4)
+//   --trojans <n>          HT population                (default 100; campaign 0 = skip)
+//   --seed <s>             master seed                  (default 1)
+//   --session <dir>        artifact directory (staged commands; campaign root)
+//   --budget-seconds <s>   per-stage wall-clock budget  (default unlimited)
+//   --sat-budget <n>       training SAT-query budget    (default unlimited)
+//   --threads <n>          campaign circuit workers     (default hardware)
+//   --quiet                suppress stage progress on stderr
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "bench_gen/library.hpp"
+#include "core/campaign.hpp"
 #include "core/deterrent.hpp"
+#include "core/session.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/stats.hpp"
 #include "sim/pattern_io.hpp"
@@ -45,6 +62,12 @@ struct Args {
   std::uint64_t seed() const { return flag_size("--seed", 1); }
   std::string out() const { return flag_string("-o", ""); }
   std::string patterns() const { return flag_string("-p", ""); }
+  std::string session() const { return flag_string("--session", ""); }
+  double budget_seconds() const { return flag_double("--budget-seconds", 0.0); }
+  std::uint64_t sat_budget() const { return flag_size("--sat-budget", 0); }
+  std::size_t threads() const { return flag_size("--threads", 0); }
+  bool quiet() const { return flags.count("--quiet") != 0; }
+  bool has(const char* name) const { return flags.count(name) != 0; }
 
   double flag_double(const char* name, double fallback) const {
     const auto it = flags.find(name);
@@ -60,12 +83,17 @@ struct Args {
   }
 };
 
+bool is_bare_flag(const char* name) { return std::strcmp(name, "--quiet") == 0; }
+
 Args parse_args(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
   if (argc >= 3 && argv[2][0] != '-') args.target = argv[2];
-  for (int i = 3; i + 1 < argc + 1; ++i) {
-    if (i < argc && argv[i][0] == '-' && i + 1 < argc) {
+  for (int i = 3; i < argc; ++i) {
+    if (argv[i][0] != '-') continue;
+    if (is_bare_flag(argv[i])) {
+      args.flags[argv[i]] = "1";
+    } else if (i + 1 < argc) {
       args.flags[argv[i]] = argv[i + 1];
       ++i;
     }
@@ -77,6 +105,59 @@ bench_gen::Benchmark load_target(const std::string& target) {
   if (target.find(".bench") != std::string::npos)
     return bench_gen::load_benchmark_file(target);
   return bench_gen::load_benchmark(target);
+}
+
+/// The pipeline configuration every staged command (and `generate`) shares —
+/// keeping them identical is what makes `prepare`+`resume` reproduce a
+/// straight `generate` bit for bit.
+core::DeterrentConfig pipeline_config(const Args& args) {
+  core::DeterrentConfig cfg;
+  cfg.rare.threshold = args.threshold();
+  cfg.updates = args.updates();
+  cfg.k_patterns = args.k();
+  cfg.seed = args.seed();
+  cfg.env.reward_mode = core::RewardMode::EndOfEpisode;
+  cfg.ppo.n_workers = 8;
+  return cfg;
+}
+
+core::StageControl stage_control(const Args& args) {
+  core::StageControl control;
+  control.wall_budget_seconds = args.budget_seconds();
+  control.sat_query_budget = args.sat_budget();
+  if (!args.quiet()) {
+    control.on_progress = [](const core::StageProgress& p) {
+      std::fprintf(stderr, "[%s] %zu/%zu %s (%.1fs)\n", core::to_string(p.stage),
+                   p.current, p.total, p.detail.c_str(), p.stage_seconds);
+      return true;
+    };
+  }
+  return control;
+}
+
+int report_status(core::StageStatus status, const core::Session& session) {
+  switch (status) {
+    case core::StageStatus::Complete:
+      return 0;
+    case core::StageStatus::Cancelled:
+      std::printf("cancelled; progress saved in %s\n", session.dir().c_str());
+      return 3;
+    case core::StageStatus::BudgetExhausted:
+      std::printf("budget exhausted; progress saved in %s — rerun `resume` to continue\n",
+                  session.dir().c_str());
+      return 3;
+  }
+  return 3;
+}
+
+void write_pattern_text(const core::Pipeline& pipeline, const Args& args,
+                        const std::string& fallback_name) {
+  if (!pipeline.extract_done()) return;
+  const std::string out =
+      args.out().empty() ? fallback_name + ".patterns" : args.out();
+  sim::write_patterns_file(pipeline.patterns(), out);
+  std::printf("wrote %zu patterns to %s\n", pipeline.patterns().pattern_count(),
+              out.c_str());
 }
 
 int cmd_analyze(const Args& args) {
@@ -106,15 +187,7 @@ int cmd_analyze(const Args& args) {
 
 int cmd_generate(const Args& args) {
   auto bench = load_target(args.target);
-  core::DeterrentConfig cfg;
-  cfg.rare.threshold = args.threshold();
-  cfg.updates = args.updates();
-  cfg.k_patterns = args.k();
-  cfg.seed = args.seed();
-  cfg.env.reward_mode = core::RewardMode::EndOfEpisode;
-  cfg.ppo.n_workers = 8;
-
-  core::Deterrent det(bench.scan.comb, cfg);
+  core::Deterrent det(bench.scan.comb, pipeline_config(args));
   det.prepare();
   std::printf("offline: %zu rare nets, %zu compatible pairs\n",
               det.rare_nets().size(), det.matrix().edge_count());
@@ -170,10 +243,181 @@ int cmd_export(const Args& args) {
   return 0;
 }
 
+// ------------------------------------------------------ staged commands ----
+
+int require_session(const Args& args) {
+  if (args.session().empty()) {
+    std::fprintf(stderr, "%s requires --session <dir>\n", args.command.c_str());
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_prepare(const Args& args) {
+  if (const int rc = require_session(args)) return rc;
+  auto bench = load_target(args.target);
+  core::Session session(args.session(), bench.scan.comb);
+  const core::DeterrentConfig cfg =
+      session.has_meta() ? session.load_config() : pipeline_config(args);
+  auto pipeline = session.resume_with(cfg);
+
+  auto status = pipeline->run_rare_nets(stage_control(args));
+  if (status == core::StageStatus::Complete)
+    status = pipeline->run_compatibility(stage_control(args));
+  session.save(*pipeline);
+  if (const int rc = report_status(status, session)) return rc;
+  std::printf("prepared: %zu rare nets, %zu compatible pairs; artifacts in %s\n",
+              pipeline->rare_nets().size(), pipeline->matrix().edge_count(),
+              session.dir().c_str());
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  if (const int rc = require_session(args)) return rc;
+  auto bench = load_target(args.target);
+  core::Session session(args.session(), bench.scan.comb);
+  if (!session.has_meta()) {
+    std::fprintf(stderr, "session %s has no meta artifact — run prepare first\n",
+                 session.dir().c_str());
+    return 2;
+  }
+  auto pipeline = session.resume();
+  if (!pipeline->compatibility_done()) {
+    std::fprintf(stderr, "session %s has no compatibility artifact — run prepare first\n",
+                 session.dir().c_str());
+    return 2;
+  }
+
+  // Without --updates, complete the configured training budget (resuming an
+  // interrupted run); with --updates N, train exactly N more iterations.
+  std::size_t updates;
+  if (args.has("--updates")) {
+    updates = args.updates();
+  } else {
+    const std::size_t target = pipeline->effective_updates();
+    const std::size_t done = pipeline->history().size();
+    if (done >= target) {
+      std::printf("training already at %zu/%zu updates; pass --updates to continue\n",
+                  done, target);
+      return 0;
+    }
+    updates = target - done;
+  }
+  const auto status = pipeline->run_train(updates, stage_control(args));
+  session.save(*pipeline);
+  if (const int rc = report_status(status, session)) return rc;
+  std::printf("trained to %zu updates: %zu distinct sets, largest %zu, %llu SAT queries\n",
+              pipeline->history().size(), pipeline->pool().size(),
+              pipeline->pool().max_set_size(),
+              static_cast<unsigned long long>(pipeline->train_sat_queries()));
+  return 0;
+}
+
+int cmd_extract(const Args& args) {
+  if (const int rc = require_session(args)) return rc;
+  auto bench = load_target(args.target);
+  core::Session session(args.session(), bench.scan.comb);
+  if (!session.has_meta()) {
+    std::fprintf(stderr, "session %s has no meta artifact — run prepare first\n",
+                 session.dir().c_str());
+    return 2;
+  }
+  auto pipeline = session.resume();
+  if (!pipeline->compatibility_done()) {
+    std::fprintf(stderr, "session %s has no compatibility artifact — run prepare first\n",
+                 session.dir().c_str());
+    return 2;
+  }
+  const auto status =
+      pipeline->run_extract(args.has("--k") ? args.k() : 0, stage_control(args));
+  session.save(*pipeline);
+  if (const int rc = report_status(status, session)) return rc;
+  write_pattern_text(*pipeline, args, bench.name);
+  return 0;
+}
+
+int cmd_resume(const Args& args) {
+  if (const int rc = require_session(args)) return rc;
+  auto bench = load_target(args.target);
+  core::Session session(args.session(), bench.scan.comb);
+  if (!session.has_meta()) {
+    std::fprintf(stderr, "session %s has no meta artifact — run prepare first\n",
+                 session.dir().c_str());
+    return 2;
+  }
+  auto pipeline = session.resume();
+  std::printf("resuming from stage %s\n", core::to_string(pipeline->next_stage()));
+  const auto status = pipeline->run_remaining(stage_control(args));
+  session.save(*pipeline);
+  if (const int rc = report_status(status, session)) return rc;
+  write_pattern_text(*pipeline, args, bench.name);
+  return 0;
+}
+
+int cmd_campaign(const Args& args) {
+  // Comma-separated profile/.bench list, or "all" for the built-in suite.
+  std::vector<std::string> names;
+  if (args.target == "all") {
+    names = bench_gen::benchmark_names();
+  } else {
+    std::string rest = args.target;
+    while (!rest.empty()) {
+      const auto comma = rest.find(',');
+      names.push_back(rest.substr(0, comma));
+      rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    }
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "campaign requires a circuit list or 'all'\n");
+    return 2;
+  }
+
+  std::vector<bench_gen::Benchmark> benches;
+  benches.reserve(names.size());
+  for (const auto& name : names) benches.push_back(load_target(name));
+
+  core::CampaignConfig cfg;
+  cfg.base = pipeline_config(args);
+  // Campaigns parallelize across circuits; keep the per-circuit phases
+  // single-threaded so the box is not oversubscribed.
+  cfg.base.offline_threads = 1;
+  cfg.base.ppo.n_workers = 1;
+  cfg.threads = args.threads();
+  cfg.session_root = args.session();
+
+  core::Campaign campaign(cfg);
+  for (std::size_t i = 0; i < benches.size(); ++i)
+    campaign.add(benches[i].name, benches[i].scan.comb);
+
+  const std::size_t n_trojans = args.trojans();
+  const unsigned width = args.width();
+  if (n_trojans > 0) {
+    campaign.set_evaluator([n_trojans, width](const core::CampaignCircuit& circuit,
+                                              const core::Pipeline& pipeline,
+                                              const sim::PatternSet& patterns) {
+      sat::NetlistOracle oracle(*circuit.netlist);
+      util::Rng rng(pipeline.config().seed ^ 0x7207a255u);
+      trojan::TrojanSampleConfig tcfg;
+      tcfg.width = width;
+      tcfg.count = n_trojans;
+      const auto trojans = trojan::sample_trojans(*circuit.netlist,
+                                                  pipeline.rare_nets(), tcfg, oracle, rng);
+      if (trojans.empty()) return -1.0;
+      return trojan::evaluate_coverage(*circuit.netlist, trojans, patterns)
+          .coverage_percent();
+    });
+  }
+
+  const auto report = campaign.run(stage_control(args));
+  std::printf("%s", report.to_table().c_str());
+  return report.completed == report.circuits.size() ? 0 : 3;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: deterrent_cli <analyze|generate|evaluate|export> "
-               "<bench|name> [flags]\n  (see header comment for flags)\n");
+               "usage: deterrent_cli <analyze|generate|evaluate|export|prepare|train|"
+               "extract|resume|campaign> <bench|name> [flags]\n"
+               "  (see header comment for flags)\n");
 }
 
 }  // namespace
@@ -185,7 +429,14 @@ int main(int argc, char** argv) {
     if (args.command == "generate" && !args.target.empty()) return cmd_generate(args);
     if (args.command == "evaluate" && !args.target.empty()) return cmd_evaluate(args);
     if (args.command == "export" && !args.target.empty()) return cmd_export(args);
-  } catch (const Error& e) {
+    if (args.command == "prepare" && !args.target.empty()) return cmd_prepare(args);
+    if (args.command == "train" && !args.target.empty()) return cmd_train(args);
+    if (args.command == "extract" && !args.target.empty()) return cmd_extract(args);
+    if (args.command == "resume" && !args.target.empty()) return cmd_resume(args);
+    if (args.command == "campaign" && !args.target.empty()) return cmd_campaign(args);
+  } catch (const std::exception& e) {
+    // Covers deterrent::Error plus std:: failures (bad flag values hitting
+    // stoull/stod, filesystem errors) — a CLI typo must not SIGABRT.
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }

@@ -14,6 +14,20 @@ CompatibilityMatrix::CompatibilityMatrix(std::size_t n) {
   rows_.assign(n, util::BitVec(n));
 }
 
+CompatibilityMatrix CompatibilityMatrix::from_rows(std::vector<util::BitVec> rows) {
+  for (const auto& row : rows)
+    if (row.size() != rows.size())
+      throw Error("CompatibilityMatrix::from_rows: matrix is not square");
+  for (std::uint32_t i = 0; i < rows.size(); ++i)
+    for (const std::uint32_t j : rows[i].to_indices())
+      if (!rows[j].test(i))
+        throw Error("CompatibilityMatrix::from_rows: rows are not symmetric at (" +
+                    std::to_string(i) + ", " + std::to_string(j) + ")");
+  CompatibilityMatrix m;
+  m.rows_ = std::move(rows);
+  return m;
+}
+
 CompatibilityMatrix::CompatibilityMatrix(const CompatibilityMatrix& other)
     : rows_(other.rows_),
       cached_edge_count_(other.cached_edge_count_.load(std::memory_order_relaxed)),

@@ -26,6 +26,11 @@ class CompatibilityMatrix {
   CompatibilityMatrix() = default;
   explicit CompatibilityMatrix(std::size_t n);
 
+  /// Reconstructs a matrix from serialized rows (CompatibilityArtifact load
+  /// path). Rows must be square and symmetric; violations throw
+  /// deterrent::Error, since they indicate a corrupt or hand-edited artifact.
+  static CompatibilityMatrix from_rows(std::vector<util::BitVec> rows);
+
   // Copy/move are explicit because the edge-count cache is atomic (atomics
   // are neither copyable nor movable).
   CompatibilityMatrix(const CompatibilityMatrix& other);

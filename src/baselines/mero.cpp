@@ -59,14 +59,35 @@ MeroResult run_mero(const netlist::Netlist& netlist,
   std::vector<std::uint64_t> broadcast(n_inputs);  // incumbent, replicated per lane
   std::vector<std::uint32_t> dirty_inputs;
   std::vector<std::uint64_t> dirty_words;
+  bool buffer_primed = false;
   for (const std::uint32_t p : order) {
     if (config.max_patterns != 0 && result.patterns.pattern_count() >= config.max_patterns)
       break;
 
     sim::Pattern current = pool.pattern(p);
-    for (std::size_t i = 0; i < n_inputs; ++i)
-      broadcast[i] = current.test(i) ? ~0ULL : 0ULL;
-    engine.evaluate(eval_buf, broadcast, 1);
+    if (!buffer_primed || !config.chain_candidates) {
+      for (std::size_t i = 0; i < n_inputs; ++i)
+        broadcast[i] = current.test(i) ? ~0ULL : 0ULL;
+      engine.evaluate(eval_buf, broadcast, 1);
+      buffer_primed = true;
+    } else {
+      // Candidate chaining: the buffer still holds the previous candidate's
+      // final state (the greedy loop restores it to broadcast(current) after
+      // every round), so only the inputs that differ between the two
+      // candidates are dirty — ranked pool patterns overlap heavily, which
+      // removes most full-program sweeps.
+      dirty_inputs.clear();
+      dirty_words.clear();
+      for (std::size_t i = 0; i < n_inputs; ++i) {
+        const std::uint64_t next_word = current.test(i) ? ~0ULL : 0ULL;
+        if (next_word != broadcast[i]) {
+          broadcast[i] = next_word;
+          dirty_inputs.push_back(static_cast<std::uint32_t>(i));
+          dirty_words.push_back(next_word);
+        }
+      }
+      engine.resimulate(eval_buf, dirty_inputs, dirty_words, 1);
+    }
     std::size_t current_gain = gain_at_lane(0);
 
     // Step 2: greedy bit-flip ascent; evaluate 64 single-bit mutants per

@@ -21,6 +21,12 @@ struct MeroConfig {
   /// all single-bit mutations bit-parallel and applies the best improving one.
   std::size_t greedy_rounds = 4;
   std::size_t max_patterns = 0;  ///< cap on emitted patterns (0 = none)
+  /// Seed each candidate's evaluation buffer incrementally from the previous
+  /// candidate via Engine::resimulate instead of a full evaluate: ranked pool
+  /// patterns are often near-duplicates, so only the differing input cones
+  /// re-evaluate. Bit-identical to the unchained path (asserted in tests);
+  /// the flag exists for A/B verification and benchmarking.
+  bool chain_candidates = true;
 };
 
 struct MeroResult {
@@ -32,7 +38,9 @@ struct MeroResult {
 /// Runs the MERO pipeline: pool scoring rides the batch engine (W-word
 /// sweeps); the greedy bit-flip ascent rides Engine::resimulate, so each
 /// 64-mutant pass re-evaluates only the fanout cones of the window being
-/// flipped instead of the whole program.
+/// flipped instead of the whole program; and successive candidates chain
+/// through the same buffer (see MeroConfig::chain_candidates), so even the
+/// per-candidate baseline evaluation is an incremental diff.
 ///
 /// Preconditions: `netlist` is combinational (full-scan applied) and every
 /// rare net id is in range. Deterministic for a given (netlist, rare_nets,

@@ -1,0 +1,181 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <mutex>
+
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace deterrent::core {
+
+namespace {
+
+/// Decorrelated per-circuit seed: SplitMix64 over campaign seed + stream
+/// offset, so circuit i's draws are independent of circuit j's for any base.
+std::uint64_t derive_seed(std::uint64_t base, std::size_t index) {
+  return util::Rng::mix64(base + index * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {}
+
+void Campaign::add(std::string name, const netlist::Netlist& netlist) {
+  // Names key the per-circuit session directories; two workers sharing one
+  // directory would race on the same artifact files.
+  for (const auto& circuit : circuits_)
+    if (circuit.name == name)
+      throw Error("Campaign: duplicate circuit name '" + name + "'");
+  circuits_.push_back({std::move(name), &netlist});
+}
+
+CampaignCircuitReport Campaign::run_circuit(std::size_t index,
+                                            const StageControl& control) {
+  const CampaignCircuit& circuit = circuits_[index];
+  CampaignCircuitReport row;
+  row.name = circuit.name;
+  util::Stopwatch watch;
+  try {
+    DeterrentConfig config = config_.base;
+    config.seed = derive_seed(config_.base.seed, index);
+    row.seed = config.seed;
+
+    std::unique_ptr<Session> session;
+    std::unique_ptr<Pipeline> pipeline;
+    if (!config_.session_root.empty()) {
+      session = std::make_unique<Session>(
+          (std::filesystem::path(config_.session_root) / circuit.name).string(),
+          *circuit.netlist);
+      if (session->has_meta()) {
+        // An existing session's stored config wins over the index-derived
+        // one: re-running the campaign with a reordered circuit list (or
+        // changed flags) must resume each circuit under the config its
+        // artifacts were actually built with.
+        pipeline = session->resume();
+        row.seed = pipeline->config().seed;
+      } else {
+        pipeline = session->resume_with(config);
+      }
+    } else {
+      pipeline = std::make_unique<Pipeline>(*circuit.netlist, config);
+    }
+
+    // A session already complete on disk adopted everything and ran nothing,
+    // so skip re-serializing its (byte-identical) policy/pattern artifacts.
+    const bool already_done = session && session->next_stage() == Stage::Done;
+    row.status = pipeline->run_remaining(control);
+    if (session && !already_done) session->save(*pipeline);
+
+    if (pipeline->rare_nets_done()) row.rare_nets = pipeline->rare_nets().size();
+    if (pipeline->compatibility_done())
+      row.compatible_pairs = pipeline->matrix().edge_count();
+    row.pool_size = pipeline->pool().size();
+    row.max_set_size = pipeline->pool().max_set_size();
+    row.sat_queries = pipeline->train_sat_queries();
+    if (pipeline->extract_done()) {
+      row.patterns = pipeline->patterns().pattern_count();
+      if (evaluator_ && row.status == StageStatus::Complete)
+        row.coverage_percent = evaluator_(circuit, *pipeline, pipeline->patterns());
+    }
+    row.ok = true;
+  } catch (const std::exception& e) {
+    row.ok = false;
+    row.error = e.what();
+  }
+  row.seconds = watch.elapsed_seconds();
+  return row;
+}
+
+CampaignReport Campaign::run(const StageControl& control) {
+  util::Stopwatch watch;
+  CampaignReport report;
+  report.circuits.resize(circuits_.size());
+  if (circuits_.empty()) return report;
+
+  // One shared cancellation latch: a false return from the user's callback
+  // (for any circuit) stops every circuit at its next checkpoint. The user
+  // callback itself runs under a lock, so it needs no synchronization.
+  std::mutex progress_mutex;
+  std::atomic<bool> cancelled{false};
+  const auto control_for = [&](std::size_t index) {
+    StageControl c;
+    c.wall_budget_seconds = control.wall_budget_seconds;
+    c.sat_query_budget = control.sat_query_budget;
+    c.on_progress = [this, &control, &progress_mutex, &cancelled,
+                     index](const StageProgress& p) -> bool {
+      if (cancelled.load(std::memory_order_relaxed)) return false;
+      if (!control.on_progress) return true;
+      StageProgress tagged = p;
+      tagged.detail = circuits_[index].name +
+                      (p.detail.empty() ? std::string() : ": " + p.detail);
+      std::lock_guard lock(progress_mutex);
+      if (!control.on_progress(tagged)) {
+        cancelled.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      return true;
+    };
+    return c;
+  };
+
+  std::size_t threads = config_.threads == 0
+                            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                            : config_.threads;
+  threads = std::min(threads, circuits_.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < circuits_.size(); ++i)
+      report.circuits[i] = run_circuit(i, control_for(i));
+  } else {
+    util::ThreadPool pool(threads);
+    pool.parallel_for(circuits_.size(), [&](std::size_t i) {
+      report.circuits[i] = run_circuit(i, control_for(i));
+    });
+  }
+
+  std::size_t evaluated = 0;
+  double coverage_sum = 0.0;
+  for (const auto& row : report.circuits) {
+    if (row.ok && row.status == StageStatus::Complete) ++report.completed;
+    report.total_patterns += row.patterns;
+    report.total_sat_queries += row.sat_queries;
+    if (row.coverage_percent >= 0.0) {
+      coverage_sum += row.coverage_percent;
+      ++evaluated;
+    }
+  }
+  if (evaluated > 0) report.mean_coverage = coverage_sum / static_cast<double>(evaluated);
+  report.total_seconds = watch.elapsed_seconds();
+  return report;
+}
+
+std::string CampaignReport::to_table() const {
+  util::Table table({"Circuit", "Status", "Rare", "Pairs", "Pool", "Max set", "Patterns",
+                     "SAT", "Cov. (%)", "Seconds"});
+  for (const auto& row : circuits) {
+    std::string status = !row.ok                                   ? "error"
+                         : row.status == StageStatus::Complete     ? "ok"
+                         : row.status == StageStatus::Cancelled    ? "cancelled"
+                                                                   : "budget";
+    table.add_row({row.name, status, std::to_string(row.rare_nets),
+                   std::to_string(row.compatible_pairs), std::to_string(row.pool_size),
+                   std::to_string(row.max_set_size), std::to_string(row.patterns),
+                   std::to_string(row.sat_queries),
+                   row.coverage_percent >= 0.0 ? util::Table::num(row.coverage_percent, 1)
+                                               : "-",
+                   util::Table::num(row.seconds, 2)});
+  }
+  table.add_row({"total", std::to_string(completed) + "/" + std::to_string(circuits.size()),
+                 "", "", "", "", std::to_string(total_patterns),
+                 std::to_string(total_sat_queries),
+                 mean_coverage >= 0.0 ? util::Table::num(mean_coverage, 1) : "-",
+                 util::Table::num(total_seconds, 2)});
+  std::string out = table.to_string();
+  for (const auto& row : circuits)
+    if (!row.ok) out += row.name + ": " + row.error + "\n";
+  return out;
+}
+
+}  // namespace deterrent::core

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace deterrent::core {
+
+/// One circuit enrolled in a campaign. The netlist must be combinational and
+/// must outlive the campaign run.
+struct CampaignCircuit {
+  std::string name;
+  const netlist::Netlist* netlist = nullptr;
+};
+
+struct CampaignConfig {
+  /// Per-circuit pipeline configuration template. Each circuit's seed is
+  /// derived from `base.seed` and the circuit index, so campaign results are
+  /// reproducible yet decorrelated across circuits.
+  DeterrentConfig base;
+  /// Circuit-level workers; 0 = hardware concurrency (capped at the circuit
+  /// count). Within a circuit the offline phase and PPO rollouts run with the
+  /// base config's own thread settings — set base.offline_threads = 1 and
+  /// base.ppo.n_workers = 1 to keep a fully circuit-parallel campaign from
+  /// oversubscribing.
+  std::size_t threads = 0;
+  /// When non-empty, each circuit gets a Session under
+  /// `<session_root>/<circuit name>`: completed stages are saved as artifact
+  /// files, and a re-run campaign resumes every circuit from its artifacts
+  /// instead of starting over.
+  std::string session_root;
+};
+
+/// Per-circuit outcome row of a campaign run.
+struct CampaignCircuitReport {
+  std::string name;
+  bool ok = false;
+  std::string error;  ///< failure reason when !ok
+  StageStatus status = StageStatus::Complete;
+  std::uint64_t seed = 0;
+  std::size_t rare_nets = 0;
+  std::size_t compatible_pairs = 0;
+  std::size_t pool_size = 0;
+  std::size_t max_set_size = 0;
+  std::size_t patterns = 0;
+  std::uint64_t sat_queries = 0;
+  double coverage_percent = -1.0;  ///< -1 when no evaluator was configured
+  double seconds = 0.0;
+};
+
+/// Aggregated result of Campaign::run.
+struct CampaignReport {
+  std::vector<CampaignCircuitReport> circuits;  ///< enrollment order
+  std::size_t completed = 0;                    ///< ok && Complete
+  std::size_t total_patterns = 0;
+  std::uint64_t total_sat_queries = 0;
+  double total_seconds = 0.0;     ///< wall clock of the whole run
+  double mean_coverage = -1.0;    ///< over evaluated circuits; -1 when none
+
+  /// Fixed-width text table (one row per circuit + a totals line) for CLI
+  /// and log output.
+  std::string to_table() const;
+};
+
+/// Multi-circuit campaign driver: runs every enrolled circuit through the
+/// staged pipeline concurrently on a thread pool and aggregates a coverage
+/// report. This is the "train-once, reuse-many" entry point — with a
+/// session_root, finished circuits are skipped on re-run and interrupted
+/// ones resume from their last artifact.
+class Campaign {
+ public:
+  /// Optional per-circuit pattern evaluator (e.g. trigger coverage against
+  /// sampled Trojans). Runs on the worker thread after extraction; the
+  /// returned percentage lands in the report. Keeping this a callback keeps
+  /// core/ free of a dependency on the trojan/ layer.
+  using Evaluator = std::function<double(const CampaignCircuit& circuit,
+                                         const Pipeline& pipeline,
+                                         const sim::PatternSet& patterns)>;
+
+  explicit Campaign(CampaignConfig config);
+
+  void add(std::string name, const netlist::Netlist& netlist);
+  std::size_t circuit_count() const { return circuits_.size(); }
+
+  void set_evaluator(Evaluator evaluator) { evaluator_ = std::move(evaluator); }
+
+  /// Runs all circuits. `control` is shared: progress events carry the
+  /// circuit name in their detail field (serialized under a lock, so the
+  /// callback needs no synchronization of its own); cancelling stops every
+  /// circuit at its next checkpoint; budgets apply per stage call as usual.
+  CampaignReport run(const StageControl& control = {});
+
+ private:
+  CampaignCircuitReport run_circuit(std::size_t index, const StageControl& control);
+
+  CampaignConfig config_;
+  std::vector<CampaignCircuit> circuits_;
+  Evaluator evaluator_;
+};
+
+}  // namespace deterrent::core

@@ -1,114 +1,49 @@
 #include "core/deterrent.hpp"
 
-#include <unordered_set>
-
-#include "sat/oracle.hpp"
 #include "util/assert.hpp"
-#include "util/logging.hpp"
-#include "util/timer.hpp"
 
 namespace deterrent::core {
 
 Deterrent::Deterrent(const netlist::Netlist& netlist, const DeterrentConfig& config)
-    : netlist_(&netlist), config_(config) {
-  if (netlist.is_sequential())
-    throw Error("Deterrent requires a combinational netlist (use make_full_scan)");
-}
+    : pipeline_(std::make_unique<Pipeline>(netlist, config)) {}
 
 Deterrent::~Deterrent() = default;
 
 void Deterrent::prepare() {
-  util::Rng rng(config_.seed);
-  util::ThreadPool pool(config_.offline_threads);
-  rare_nets_ = analysis::find_rare_nets(*netlist_, config_.rare, rng, &pool);
-  if (rare_nets_.empty())
-    throw Error("no rare nets below threshold " + std::to_string(config_.rare.threshold));
-  matrix_ = analysis::build_compatibility(*netlist_, rare_nets_, config_.compat, rng,
-                                          &pool, &compat_stats_, &witness_signatures_);
-  util::Log::info("deterrent: prepared ", rare_nets_.size(), " rare nets, ",
-                  matrix_->edge_count(), " compatible pairs (",
-                  compat_stats_.sim_resolved, " sim, ", compat_stats_.sat_sat,
-                  " sat) in ", compat_stats_.build_seconds, "s");
+  pipeline_->run_rare_nets();
+  pipeline_->run_compatibility();
 }
 
 void Deterrent::prepare_with(std::vector<analysis::RareNet> rare_nets) {
   DETERRENT_ASSERT(!rare_nets.empty(), "prepare_with requires rare nets");
-  util::Rng rng(config_.seed);
-  util::ThreadPool pool(config_.offline_threads);
-  rare_nets_ = std::move(rare_nets);
-  matrix_ = analysis::build_compatibility(*netlist_, rare_nets_, config_.compat, rng,
-                                          &pool, &compat_stats_, &witness_signatures_);
+  RareNetArtifact artifact;
+  artifact.netlist_fingerprint = pipeline_->netlist_fingerprint();
+  artifact.threshold = pipeline_->config().rare.threshold;
+  artifact.seed = pipeline_->config().seed;
+  artifact.rare_nets = std::move(rare_nets);
+  // The injected rare nets skipped the rare-net stage, so the compatibility
+  // build starts a fresh offline stream from the seed (matching the
+  // historical prepare_with behavior).
+  artifact.rng_state_after = util::Rng(pipeline_->config().seed).state();
+  pipeline_->adopt(std::move(artifact));
+  pipeline_->run_compatibility();
 }
 
 const std::vector<TrainingSnapshot>& Deterrent::train(std::size_t updates) {
   if (!prepared()) throw Error("Deterrent::train called before prepare()");
-  if (updates == 0) updates = config_.updates;
-
-  if (!trainer_) {
-    auto factory = [this](std::size_t /*worker*/) -> std::unique_ptr<rl::Env> {
-      EnvConfig env_config = config_.env;
-      if (env_config.witness_signatures == nullptr && !witness_signatures_.empty())
-        env_config.witness_signatures = &witness_signatures_;
-      return std::make_unique<CompatibleSetEnv>(*netlist_, rare_nets_, *matrix_,
-                                                env_config, &pool_);
-    };
-    trainer_ = std::make_unique<rl::PpoTrainer>(factory, config_.ppo, config_.seed);
-  }
-
-  util::Stopwatch watch;
-  for (std::size_t u = 0; u < updates; ++u) {
-    TrainingSnapshot snap;
-    snap.ppo = trainer_->update();
-    snap.pool_size = pool_.size();
-    snap.max_set_size = pool_.max_set_size();
-    snap.cumulative_steps = trainer_->total_steps();
-    snap.cumulative_episodes = trainer_->total_episodes();
-    snap.elapsed_seconds = train_seconds_ + watch.elapsed_seconds();
-    history_.push_back(snap);
-  }
-  train_seconds_ += watch.elapsed_seconds();
-  return history_;
+  pipeline_->run_train(updates);
+  return pipeline_->history();
 }
 
 sim::PatternSet Deterrent::extract_patterns(std::size_t k) {
   if (!prepared()) throw Error("Deterrent::extract_patterns called before prepare()");
-  if (k == 0) k = config_.k_patterns;
-
-  extracted_sets_ = pool_.k_largest(k);
-  sim::PatternSet patterns(netlist_->inputs().size());
-  if (extracted_sets_.empty()) return patterns;
-
-  sat::NetlistOracle oracle(*netlist_);
-  util::Rng rng(config_.seed ^ 0xd1e5c0de);
-  std::vector<sat::Constraint> constraints;
-  std::vector<util::BitVec> kept_sets;
-  std::unordered_set<util::BitVec, util::BitVecHash> distinct_patterns;
-
-  for (const auto& set : extracted_sets_) {
-    constraints.clear();
-    for (const std::uint32_t idx : set.to_indices())
-      constraints.push_back({rare_nets_[idx].net, rare_nets_[idx].rare_value});
-    oracle.randomize_completion(rng);
-    const auto pattern = oracle.find_pattern(constraints);
-    // Every pooled set was SAT-verified during training; an UNSAT here would
-    // indicate a bug, but stay robust and simply skip.
-    if (!pattern.has_value()) {
-      util::Log::warn("deterrent: pooled set of size ", set.count(),
-                      " unexpectedly unsatisfiable; skipped");
-      continue;
-    }
-    if (distinct_patterns.insert(*pattern).second) {
-      patterns.push(*pattern);
-      kept_sets.push_back(set);
-    }
-  }
-  extracted_sets_ = std::move(kept_sets);
-  return patterns;
+  pipeline_->run_extract(k);
+  return pipeline_->patterns();
 }
 
 sim::PatternSet Deterrent::run() {
   if (!prepared()) prepare();
-  if (history_.empty()) train();
+  if (pipeline_->history().empty()) train();
   return extract_patterns();
 }
 

@@ -1,55 +1,21 @@
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <vector>
 
-#include "analysis/compatibility.hpp"
-#include "analysis/rare_nets.hpp"
-#include "core/compatible_set_env.hpp"
-#include "core/set_pool.hpp"
-#include "rl/ppo.hpp"
-#include "sim/pattern.hpp"
-#include "util/thread_pool.hpp"
+#include "core/pipeline.hpp"
 
 namespace deterrent::core {
-
-/// End-to-end configuration of the DETERRENT pipeline (Figure 4).
-struct DeterrentConfig {
-  analysis::RareNetConfig rare;                ///< step ❶: rareness filtering
-  analysis::CompatibilityBuildConfig compat;   ///< offline pairwise phase
-  EnvConfig env;                               ///< MDP variant (§3.1–3.3)
-  rl::PpoConfig ppo = boosted_ppo_defaults();  ///< §3.4 exploration boost on
-  std::size_t updates = 40;     ///< PPO update iterations in train()
-  std::size_t k_patterns = 32;  ///< k largest distinct sets → test patterns
-  std::uint64_t seed = 1;
-  std::size_t offline_threads = 0;  ///< offline-phase workers; 0 = hardware
-
-  /// PPO defaults with the paper's boosted exploration (§3.4): entropy
-  /// coefficient c_eps = 1 and GAE smoothing λ = 0.99.
-  static rl::PpoConfig boosted_ppo_defaults() {
-    rl::PpoConfig ppo;
-    ppo.entropy_coef = 1.0f;
-    ppo.gae_lambda = 0.99f;
-    return ppo;
-  }
-};
-
-/// One row of the training log — enough to regenerate Table 1 (rates),
-/// Figure 2 (max compatible set), and Figure 3 (loss trends).
-struct TrainingSnapshot {
-  rl::PpoUpdateStats ppo;
-  std::size_t pool_size = 0;
-  std::size_t max_set_size = 0;
-  std::uint64_t cumulative_steps = 0;
-  std::uint64_t cumulative_episodes = 0;
-  std::uint64_t sat_queries = 0;
-  double elapsed_seconds = 0.0;  ///< since training started
-};
 
 /// The DETERRENT pipeline: offline rare-net + compatibility analysis, PPO
 /// training over the compatible-set MDP, and SAT-based pattern extraction
 /// from the k largest distinct sets.
+///
+/// This is a thin facade over core::Pipeline, kept for the original
+/// blocking, in-memory call shape. New code that needs checkpointing,
+/// progress callbacks, budgets, or resume should use Pipeline directly (or
+/// Session for directory-backed persistence); `pipeline()` exposes the
+/// underlying object for mixed use.
 ///
 /// The netlist must be combinational (full-scan view for sequential designs).
 class Deterrent {
@@ -66,51 +32,55 @@ class Deterrent {
   /// cross-threshold experiment (train at θ=0.14, evaluate at θ=0.10).
   void prepare_with(std::vector<analysis::RareNet> rare_nets);
 
-  /// Phase 2: runs `updates` PPO iterations (config.updates when 0),
-  /// appending to the training history. Callable repeatedly to continue
-  /// training. Requires prepare().
+  /// Phase 2: runs `updates` PPO iterations, appending to the training
+  /// history. Callable repeatedly to continue training. Requires prepare().
+  ///
+  /// Zero-updates edge: `updates == 0` means "use config.updates", and a
+  /// config.updates of 0 is clamped to a single update — train() always
+  /// trains. (Historically `train(0)` with `config.updates == 0` silently
+  /// ran nothing, which made the subsequent extract_patterns() return an
+  /// empty set with no diagnostic.)
   const std::vector<TrainingSnapshot>& train(std::size_t updates = 0);
 
   /// Phase 3: turns the k largest distinct compatible sets into test
   /// patterns, one SAT model each, with randomized don't-care fill
-  /// (config.k_patterns when 0). Requires at least one train() call —
-  /// or a non-empty pool.
+  /// (config.k_patterns when 0). Requires at least one train() call or a
+  /// non-empty pool — extracting with nothing to extract throws.
   sim::PatternSet extract_patterns(std::size_t k = 0);
 
   /// Convenience: prepare → train → extract in one call.
   sim::PatternSet run();
 
-  bool prepared() const { return matrix_.has_value(); }
-  std::span<const analysis::RareNet> rare_nets() const { return rare_nets_; }
-  const analysis::CompatibilityMatrix& matrix() const { return *matrix_; }
+  bool prepared() const { return pipeline_->compatibility_done(); }
+  std::span<const analysis::RareNet> rare_nets() const { return pipeline_->rare_nets(); }
+  const analysis::CompatibilityMatrix& matrix() const { return pipeline_->matrix(); }
   /// Phase-1 simulation witnesses (one per rare net), reused by the training
   /// environments to answer joint-satisfiability checks without SAT calls.
   const std::vector<util::BitVec>& witness_signatures() const {
-    return witness_signatures_;
+    return pipeline_->witness_signatures();
   }
-  const analysis::CompatibilityBuildStats& compat_stats() const { return compat_stats_; }
-  DistinctSetPool& pool() { return pool_; }
-  const DistinctSetPool& pool() const { return pool_; }
-  const std::vector<TrainingSnapshot>& history() const { return history_; }
-  const netlist::Netlist& target() const { return *netlist_; }
-  const DeterrentConfig& config() const { return config_; }
+  const analysis::CompatibilityBuildStats& compat_stats() const {
+    return pipeline_->compat_stats();
+  }
+  DistinctSetPool& pool() { return pipeline_->pool(); }
+  const DistinctSetPool& pool() const { return pipeline_->pool(); }
+  const std::vector<TrainingSnapshot>& history() const { return pipeline_->history(); }
+  const netlist::Netlist& target() const { return pipeline_->target(); }
+  const DeterrentConfig& config() const { return pipeline_->config(); }
 
   /// The distinct sets behind the most recent extract_patterns() call,
   /// parallel to the returned pattern order.
-  const std::vector<util::BitVec>& extracted_sets() const { return extracted_sets_; }
+  const std::vector<util::BitVec>& extracted_sets() const {
+    return pipeline_->extracted_sets();
+  }
+
+  /// The staged pipeline behind this facade — for artifact export, session
+  /// persistence, or progress-controlled stage runs on a live object.
+  Pipeline& pipeline() { return *pipeline_; }
+  const Pipeline& pipeline() const { return *pipeline_; }
 
  private:
-  const netlist::Netlist* netlist_;
-  DeterrentConfig config_;
-  std::vector<analysis::RareNet> rare_nets_;
-  std::optional<analysis::CompatibilityMatrix> matrix_;
-  std::vector<util::BitVec> witness_signatures_;
-  analysis::CompatibilityBuildStats compat_stats_;
-  DistinctSetPool pool_;
-  std::unique_ptr<rl::PpoTrainer> trainer_;
-  std::vector<TrainingSnapshot> history_;
-  std::vector<util::BitVec> extracted_sets_;
-  double train_seconds_ = 0.0;
+  std::unique_ptr<Pipeline> pipeline_;
 };
 
 }  // namespace deterrent::core

@@ -1,0 +1,101 @@
+#include "core/session.hpp"
+
+#include <filesystem>
+
+#include "netlist/stats.hpp"
+#include "util/assert.hpp"
+
+namespace deterrent::core {
+
+namespace fs = std::filesystem;
+
+Session::Session(std::string dir, const netlist::Netlist& netlist)
+    : dir_(std::move(dir)),
+      netlist_(&netlist),
+      fingerprint_(netlist::structural_fingerprint(netlist)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw Error("Session: cannot create directory " + dir_ + ": " + ec.message());
+}
+
+std::string Session::path(const char* file) const {
+  return (fs::path(dir_) / file).string();
+}
+
+bool Session::has_meta() const { return fs::exists(path(kMetaFile)); }
+bool Session::has_rare_nets() const { return fs::exists(path(kRareFile)); }
+bool Session::has_compatibility() const { return fs::exists(path(kCompatFile)); }
+bool Session::has_policy() const { return fs::exists(path(kPolicyFile)); }
+bool Session::has_patterns() const { return fs::exists(path(kPatternFile)); }
+
+Stage Session::next_stage() const {
+  if (!has_rare_nets()) return Stage::RareNets;
+  if (!has_compatibility()) return Stage::Compatibility;
+  if (!has_policy()) return Stage::Train;
+  if (!has_patterns()) return Stage::Extract;
+  return Stage::Done;
+}
+
+void Session::save_config(const DeterrentConfig& config) const {
+  util::BinaryWriter w;
+  write_config(w, config);
+  util::write_artifact_file(
+      path(kMetaFile),
+      {static_cast<std::uint32_t>(ArtifactKind::SessionMeta), kArtifactFormatVersion,
+       fingerprint_},
+      w.bytes());
+}
+
+DeterrentConfig Session::load_config() const {
+  const auto payload = util::read_artifact_file(
+      path(kMetaFile), {static_cast<std::uint32_t>(ArtifactKind::SessionMeta),
+                        kArtifactFormatVersion, fingerprint_});
+  util::BinaryReader r(payload);
+  DeterrentConfig config = read_config(r);
+  r.expect_end();
+  return config;
+}
+
+void Session::save(const Pipeline& pipeline) const {
+  DETERRENT_ASSERT(pipeline.netlist_fingerprint() == fingerprint_,
+                   "Session::save: pipeline is bound to a different netlist");
+  if (!has_meta()) save_config(pipeline.config());
+  // Rare nets and the matrix are immutable once their stage completed (the
+  // pipeline refuses to re-populate them), so an existing file is already
+  // current — skipping the rewrite saves the O(n²)-bit matrix serialization
+  // on every later checkpoint. Policy and patterns do evolve; always write.
+  if (pipeline.rare_nets_done() && !has_rare_nets())
+    pipeline.export_rare_nets().save(path(kRareFile));
+  if (pipeline.compatibility_done() && !has_compatibility())
+    pipeline.export_compatibility().save(path(kCompatFile));
+  if (!pipeline.history().empty()) pipeline.export_policy().save(path(kPolicyFile));
+  if (pipeline.extract_done()) {
+    pipeline.export_patterns().save(path(kPatternFile));
+  } else if (has_patterns()) {
+    // Training past an extraction marks it stale; a leftover patterns.art
+    // would make the next resume() report the run complete and emit the
+    // outdated set, so drop it along with the checkpoint that outdated it.
+    std::error_code ec;
+    fs::remove(path(kPatternFile), ec);
+    if (ec)
+      throw Error("Session: cannot remove stale " + path(kPatternFile) + ": " +
+                  ec.message());
+  }
+}
+
+std::unique_ptr<Pipeline> Session::resume() const { return resume_with(load_config()); }
+
+std::unique_ptr<Pipeline> Session::resume_with(const DeterrentConfig& config) const {
+  auto pipeline = std::make_unique<Pipeline>(*netlist_, config);
+  if (!has_rare_nets()) return pipeline;
+  pipeline->adopt(RareNetArtifact::load(path(kRareFile), fingerprint_));
+  if (!has_compatibility()) return pipeline;
+  pipeline->adopt(CompatibilityArtifact::load(path(kCompatFile), fingerprint_));
+  if (!has_policy()) return pipeline;  // patterns without a policy are not a prefix
+  pipeline->adopt(PolicyArtifact::load(path(kPolicyFile), fingerprint_));
+  if (has_patterns())
+    pipeline->adopt(PatternArtifact::load(path(kPatternFile), fingerprint_));
+  return pipeline;
+}
+
+}  // namespace deterrent::core

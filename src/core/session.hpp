@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace deterrent::core {
+
+/// Directory-backed persistence for a Pipeline run.
+///
+/// A session owns one directory holding a meta artifact (config echo +
+/// netlist fingerprint) plus one file per completed stage:
+///
+///   session.meta       DeterrentConfig + fingerprint
+///   rare_nets.art      RareNetArtifact
+///   compatibility.art  CompatibilityArtifact
+///   policy.art         PolicyArtifact (resumable training checkpoint)
+///   patterns.art       PatternArtifact
+///
+/// Every load is envelope-checked (magic, kind, version, CRC) and
+/// fingerprint-checked against the bound netlist, so stale or foreign files
+/// fail loudly. resume() reconstructs a Pipeline from whatever contiguous
+/// stage prefix is on disk; a run interrupted after any stage and resumed
+/// this way produces bit-identical patterns to an uninterrupted one.
+class Session {
+ public:
+  static constexpr const char* kMetaFile = "session.meta";
+  static constexpr const char* kRareFile = "rare_nets.art";
+  static constexpr const char* kCompatFile = "compatibility.art";
+  static constexpr const char* kPolicyFile = "policy.art";
+  static constexpr const char* kPatternFile = "patterns.art";
+
+  /// Binds a directory (created if missing) to a netlist. The netlist must
+  /// outlive the session.
+  Session(std::string dir, const netlist::Netlist& netlist);
+
+  const std::string& dir() const { return dir_; }
+  std::string path(const char* file) const;
+  std::uint64_t netlist_fingerprint() const { return fingerprint_; }
+
+  bool has_meta() const;
+  bool has_rare_nets() const;
+  bool has_compatibility() const;
+  bool has_policy() const;
+  bool has_patterns() const;
+
+  /// First stage with no artifact on disk (gaps end the prefix).
+  Stage next_stage() const;
+
+  /// Writes the meta artifact (config snapshot). Called once at session
+  /// creation by a driver; later resume() calls read the config back so the
+  /// caller does not have to re-supply identical flags.
+  void save_config(const DeterrentConfig& config) const;
+  DeterrentConfig load_config() const;
+
+  /// Persists every completed stage of the pipeline (plus the config when no
+  /// meta file exists yet). Training state is saved whenever the train stage
+  /// has started, making mid-training checkpoints resumable.
+  void save(const Pipeline& pipeline) const;
+
+  /// Rebuilds a pipeline from the stored config and the longest contiguous
+  /// artifact prefix on disk. The caller runs `run_remaining()` (or single
+  /// stages) and save()s again.
+  std::unique_ptr<Pipeline> resume() const;
+
+  /// As resume(), but with an explicit config instead of the stored one
+  /// (e.g. to continue training with a larger update budget). Stage artifacts
+  /// are still validated against the netlist and each other.
+  std::unique_ptr<Pipeline> resume_with(const DeterrentConfig& config) const;
+
+ private:
+  std::string dir_;
+  const netlist::Netlist* netlist_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace deterrent::core

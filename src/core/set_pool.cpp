@@ -37,4 +37,15 @@ std::vector<util::BitVec> DistinctSetPool::all() const {
   return {sets_.begin(), sets_.end()};
 }
 
+void DistinctSetPool::replace(std::vector<util::BitVec> sets) {
+  std::lock_guard lock(mutex_);
+  sets_.clear();
+  max_size_ = 0;
+  for (auto& set : sets) {
+    if (set.none()) continue;
+    const std::size_t count = set.count();
+    if (sets_.insert(std::move(set)).second) max_size_ = std::max(max_size_, count);
+  }
+}
+
 }  // namespace deterrent::core

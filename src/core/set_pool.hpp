@@ -31,6 +31,10 @@ class DistinctSetPool {
   /// All distinct sets, unordered.
   std::vector<util::BitVec> all() const;
 
+  /// Replaces the pool contents wholesale (PolicyArtifact restore path).
+  /// Empty sets are dropped, duplicates collapse, max_set_size is rebuilt.
+  void replace(std::vector<util::BitVec> sets);
+
  private:
   mutable std::mutex mutex_;
   std::unordered_set<util::BitVec, util::BitVecHash> sets_;

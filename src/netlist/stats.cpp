@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/serialize.hpp"
+
 namespace deterrent::netlist {
 
 NetlistStats compute_stats(const Netlist& netlist) {
@@ -35,6 +37,24 @@ std::string NetlistStats::to_string() const {
   oss.precision(2);
   oss << " avg_fanin=" << avg_fanin << " avg_fanout=" << avg_fanout;
   return oss.str();
+}
+
+std::uint64_t structural_fingerprint(const Netlist& netlist) {
+  util::Fnv1a hash;
+  hash.mix(netlist.net_count());
+  for (NetId id = 0; id < netlist.net_count(); ++id) {
+    hash.mix(static_cast<std::uint64_t>(netlist.type(id)));
+    const auto fanins = netlist.fanins(id);
+    hash.mix(fanins.size());
+    for (const NetId f : fanins) hash.mix(f);
+  }
+  hash.mix(netlist.inputs().size());
+  for (const NetId id : netlist.inputs()) hash.mix(id);
+  hash.mix(netlist.outputs().size());
+  for (const NetId id : netlist.outputs()) hash.mix(id);
+  hash.mix(netlist.dffs().size());
+  for (const NetId id : netlist.dffs()) hash.mix(id);
+  return hash.value_nonzero();
 }
 
 }  // namespace deterrent::netlist

@@ -27,4 +27,11 @@ struct NetlistStats {
 
 NetlistStats compute_stats(const Netlist& netlist);
 
+/// 64-bit structural fingerprint: FNV-1a over gate types, fanin structure,
+/// and the input/output/DFF rosters. Two netlists with equal fingerprints are
+/// (up to hash collision) the same circuit graph, so pipeline artifacts stamp
+/// it into their headers and refuse to load against a different design. Net
+/// names do not participate — renamings keep artifacts valid.
+std::uint64_t structural_fingerprint(const Netlist& netlist);
+
 }  // namespace deterrent::netlist

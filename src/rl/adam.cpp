@@ -1,6 +1,9 @@
 #include "rl/adam.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "util/assert.hpp"
 
 namespace deterrent::rl {
 
@@ -47,6 +50,33 @@ void Adam::step(float max_grad_norm) {
           static_cast<float>(config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps));
     }
   }
+}
+
+AdamState Adam::state() const {
+  AdamState s;
+  s.t = t_;
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    s.m.insert(s.m.end(), m_[k].begin(), m_[k].end());
+    s.v.insert(s.v.end(), v_[k].begin(), v_[k].end());
+  }
+  return s;
+}
+
+void Adam::restore(const AdamState& state) {
+  std::size_t total = 0;
+  for (const auto& p : params_) total += p.size;
+  if (state.m.size() != total || state.v.size() != total)
+    throw Error("Adam::restore: state holds " + std::to_string(state.m.size()) +
+                " moments, optimizer tracks " + std::to_string(total) + " parameters");
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    std::copy_n(state.m.begin() + static_cast<std::ptrdiff_t>(pos), m_[k].size(),
+                m_[k].begin());
+    std::copy_n(state.v.begin() + static_cast<std::ptrdiff_t>(pos), v_[k].size(),
+                v_[k].begin());
+    pos += m_[k].size();
+  }
+  t_ = state.t;
 }
 
 }  // namespace deterrent::rl

@@ -13,6 +13,16 @@ struct AdamConfig {
   float eps = 1e-8f;
 };
 
+/// Serializable snapshot of an Adam optimizer: first/second moments flattened
+/// in ParamRef order plus the bias-correction step counter. Restoring it makes
+/// subsequent step() calls bit-identical to an optimizer that never paused —
+/// required for checkpoint/resume of PPO training.
+struct AdamState {
+  std::vector<float> m;  ///< first moments, flat
+  std::vector<float> v;  ///< second moments, flat
+  std::uint64_t t = 0;   ///< completed steps
+};
+
 /// Adam optimizer over a flat list of parameter views, with optional global
 /// gradient-norm clipping (standard PPO practice).
 class Adam {
@@ -28,6 +38,12 @@ class Adam {
   double grad_norm() const;
 
   std::uint64_t step_count() const { return t_; }
+
+  AdamState state() const;
+
+  /// Restores moments + step counter from a state() snapshot. Throws
+  /// deterrent::Error when the moment sizes do not match the parameter list.
+  void restore(const AdamState& state);
 
  private:
   std::vector<ParamRef> params_;

@@ -1,5 +1,6 @@
 #include "rl/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/assert.hpp"
@@ -114,6 +115,31 @@ std::size_t Mlp::param_count() const {
   std::size_t total = 0;
   for (const auto& layer : layers_) total += layer.w.size() + layer.b.size();
   return total;
+}
+
+std::vector<float> Mlp::flat_params() const {
+  std::vector<float> flat;
+  flat.reserve(param_count());
+  for (const auto& layer : layers_) {
+    flat.insert(flat.end(), layer.w.begin(), layer.w.end());
+    flat.insert(flat.end(), layer.b.begin(), layer.b.end());
+  }
+  return flat;
+}
+
+void Mlp::set_flat_params(std::span<const float> flat) {
+  if (flat.size() != param_count())
+    throw Error("Mlp::set_flat_params: image has " + std::to_string(flat.size()) +
+                " parameters, network needs " + std::to_string(param_count()));
+  std::size_t pos = 0;
+  for (auto& layer : layers_) {
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(pos), layer.w.size(),
+                layer.w.begin());
+    pos += layer.w.size();
+    std::copy_n(flat.begin() + static_cast<std::ptrdiff_t>(pos), layer.b.size(),
+                layer.b.begin());
+    pos += layer.b.size();
+  }
 }
 
 }  // namespace deterrent::rl

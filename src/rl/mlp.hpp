@@ -56,6 +56,16 @@ class Mlp {
 
   std::size_t param_count() const;
 
+  const std::vector<std::size_t>& layer_sizes() const { return layer_sizes_; }
+
+  /// All parameters as one flat vector, in params() order (per layer:
+  /// weights then biases) — the serialization image of the network.
+  std::vector<float> flat_params() const;
+
+  /// Restores parameters from a flat_params() image. Throws deterrent::Error
+  /// when the size does not match this network's shape.
+  void set_flat_params(std::span<const float> flat);
+
  private:
   struct Layer {
     std::size_t in = 0;

@@ -57,6 +57,35 @@ PpoTrainer::PpoTrainer(const EnvFactory& factory, const PpoConfig& config,
 
 PpoTrainer::~PpoTrainer() = default;
 
+TrainerState PpoTrainer::state() const {
+  TrainerState s;
+  s.policy_params = policy_.flat_params();
+  s.value_params = value_.flat_params();
+  s.policy_opt = policy_opt_.state();
+  s.value_opt = value_opt_.state();
+  s.rng_states.reserve(worker_rngs_.size());
+  for (const auto& rng : worker_rngs_) s.rng_states.push_back(rng.state());
+  s.total_steps = total_steps_;
+  s.total_episodes = total_episodes_;
+  return s;
+}
+
+void PpoTrainer::restore(const TrainerState& state) {
+  if (state.rng_states.size() != worker_rngs_.size())
+    throw Error("PpoTrainer::restore: snapshot has " +
+                std::to_string(state.rng_states.size()) + " RNG streams, trainer has " +
+                std::to_string(worker_rngs_.size()) +
+                " (was it saved with a different n_workers?)");
+  policy_.set_flat_params(state.policy_params);
+  value_.set_flat_params(state.value_params);
+  policy_opt_.restore(state.policy_opt);
+  value_opt_.restore(state.value_opt);
+  for (std::size_t i = 0; i < worker_rngs_.size(); ++i)
+    worker_rngs_[i].set_state(state.rng_states[i]);
+  total_steps_ = state.total_steps;
+  total_episodes_ = state.total_episodes;
+}
+
 PpoTrainer::EpisodeBuffer PpoTrainer::collect_episode(Env& env, util::Rng& rng) const {
   EpisodeBuffer buffer;
   std::vector<float> obs = env.reset(rng);

@@ -47,6 +47,22 @@ struct PpoUpdateStats {
   std::size_t episodes = 0;
 };
 
+/// Complete checkpoint of a PpoTrainer: network parameters, optimizer
+/// moments, every RNG stream, and the step/episode counters. restore()-ing it
+/// into a trainer built with the same config and env shapes resumes training
+/// bit-identically — update N after a checkpoint/restore equals update N of
+/// an uninterrupted run.
+struct TrainerState {
+  std::vector<float> policy_params;
+  std::vector<float> value_params;
+  AdamState policy_opt;
+  AdamState value_opt;
+  /// Shuffle stream first, then one stream per rollout worker (n_workers+1).
+  std::vector<std::array<std::uint64_t, 4>> rng_states;
+  std::uint64_t total_steps = 0;
+  std::uint64_t total_episodes = 0;
+};
+
 /// Proximal Policy Optimization with clipped surrogate objective, separate
 /// policy/value networks, GAE, masked categorical actions, and multi-threaded
 /// rollout collection.
@@ -56,6 +72,13 @@ class PpoTrainer {
 
   PpoTrainer(const EnvFactory& factory, const PpoConfig& config, std::uint64_t seed);
   ~PpoTrainer();
+
+  TrainerState state() const;
+
+  /// Restores a state() snapshot. Throws deterrent::Error when the snapshot
+  /// shape disagrees with this trainer (different network sizes or worker
+  /// count) — resuming under a changed config must fail loudly, not drift.
+  void restore(const TrainerState& state);
 
   /// Collects config.episodes_per_update episodes (split across workers) and
   /// performs one PPO optimization phase.

@@ -114,21 +114,31 @@ SignalStats exact_signal_stats(const netlist::Netlist& netlist) {
   stats.pattern_count = total;
   stats.ones.assign(netlist.net_count(), 0);
 
+  // Enumerate W = kDefaultWords blocks (W*64 assignments) per engine pass so
+  // the inner loops amortize over full sweeps like every other batch caller,
+  // instead of the old one-word-per-evaluate drip.
   const Engine engine(netlist);
   EvalBuffer buf;
-  std::vector<std::uint64_t> input_words(n_inputs);
-  std::uint64_t mask = 0;
-  for (std::size_t base = 0; base < total; base += 64) {
-    const std::size_t lanes = std::min<std::size_t>(64, total - base);
-    for (std::size_t i = 0; i < n_inputs; ++i) {
-      std::uint64_t w = 0;
-      for (std::size_t lane = 0; lane < lanes; ++lane)
-        if (((base + lane) >> i) & 1ULL) w |= (1ULL << lane);
-      input_words[i] = w;
+  const std::size_t n_blocks = (total + 63) / 64;
+  std::vector<std::uint64_t> input_words;
+  std::vector<std::uint64_t> masks;
+  for (std::size_t first = 0; first < n_blocks; first += Engine::kDefaultWords) {
+    const std::size_t n_words = std::min(Engine::kDefaultWords, n_blocks - first);
+    input_words.assign(n_inputs * n_words, 0);
+    masks.assign(n_words, 0);
+    for (std::size_t w = 0; w < n_words; ++w) {
+      const std::size_t base = (first + w) * 64;
+      const std::size_t lanes = std::min<std::size_t>(64, total - base);
+      for (std::size_t i = 0; i < n_inputs; ++i) {
+        std::uint64_t word = 0;
+        for (std::size_t lane = 0; lane < lanes; ++lane)
+          if (((base + lane) >> i) & 1ULL) word |= (1ULL << lane);
+        input_words[i * n_words + w] = word;
+      }
+      masks[w] = lanes == 64 ? ~0ULL : ((1ULL << lanes) - 1);
     }
-    mask = lanes == 64 ? ~0ULL : ((1ULL << lanes) - 1);
-    engine.evaluate(buf, input_words, 1);
-    accumulate_batch(buf, {&mask, 1}, stats.ones);
+    engine.evaluate(buf, input_words, n_words);
+    accumulate_batch(buf, masks, stats.ones);
   }
   return stats;
 }

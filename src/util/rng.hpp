@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -112,6 +113,23 @@ class Rng {
 
   /// Derives an independent child stream (for per-thread / per-episode RNGs).
   Rng fork() { return Rng(next()); }
+
+  /// Stateless SplitMix64 finalizer — decorrelates derived seeds (e.g. one
+  /// seed per campaign circuit) without constructing a generator.
+  static std::uint64_t mix64(std::uint64_t x) { return splitmix64(x); }
+
+  /// The four xoshiro256** state words — the checkpointable identity of the
+  /// stream. Restoring a saved state resumes the exact draw sequence, which
+  /// is what makes mid-training pipeline checkpoints bit-identical on resume.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    DETERRENT_ASSERT(state[0] || state[1] || state[2] || state[3],
+                     "Rng::set_state rejects the all-zero state");
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   static std::uint64_t splitmix64(std::uint64_t& x) {

@@ -255,5 +255,33 @@ TEST(Probability, NonMultipleOf64PatternCount) {
   for (const NetId in : nl.inputs()) EXPECT_LE(stats.ones[in], 100u);
 }
 
+TEST(Probability, ExactMatchesExplicitEnumerationAcrossBatches) {
+  // 12 inputs = 4096 assignments = 64 blocks: exercises multiple full W-word
+  // engine passes of the batched enumerator. The explicitly constructed
+  // exhaustive pattern set is the ground truth.
+  const Netlist nl = small_random(46, 180, 12);
+  const std::size_t n_inputs = nl.inputs().size();
+  PatternSet all(n_inputs);
+  for (std::size_t v = 0; v < (std::size_t{1} << n_inputs); ++v) {
+    Pattern p(n_inputs);
+    for (std::size_t i = 0; i < n_inputs; ++i) p.set(i, (v >> i) & 1);
+    all.push(p);
+  }
+  const auto exact = exact_signal_stats(nl);
+  const auto reference = signal_stats_for_patterns(nl, all);
+  ASSERT_EQ(exact.pattern_count, reference.pattern_count);
+  for (NetId id = 0; id < nl.net_count(); ++id)
+    EXPECT_EQ(exact.ones[id], reference.ones[id]) << "net " << id;
+}
+
+TEST(Probability, ExactHandlesPartialFinalBlock) {
+  // 5 inputs = 32 assignments — less than one 64-lane block; the lane mask
+  // must exclude the unused upper lanes.
+  const Netlist nl = small_random(47, 60, 5);
+  const auto exact = exact_signal_stats(nl);
+  EXPECT_EQ(exact.pattern_count, 32u);
+  for (const NetId in : nl.inputs()) EXPECT_EQ(exact.ones[in], 16u);
+}
+
 }  // namespace
 }  // namespace deterrent::sim
