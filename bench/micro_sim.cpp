@@ -4,13 +4,16 @@
 // compatibility pre-filter, and coverage evaluation all ride on raw
 // simulation speed. Compares the seed's single-word, per-gate-dispatch
 // simulator against sim::Engine at several sweep widths W (W x 64 patterns
-// per pass) and with pattern-stripe thread parallelism, reporting
-// gate-evaluations/sec.
+// per pass), across every SIMD kernel backend this host supports (scalar /
+// NEON / AVX2 / AVX-512), and with pattern-stripe thread parallelism,
+// reporting gate-evaluations/sec.
 //
 //   ./micro_sim [output.json]           (default output: BENCH_sim.json)
 //
 // DETERRENT_BENCH_MODE=quick shrinks the circuit and pattern count for CI
 // smoke runs; default/full use a >= 20k-gate circuit at >= 16k patterns.
+// DETERRENT_FORCE_ISA pins the backend of the main engine rows; the per-ISA
+// "simd" sweep always measures every supported backend regardless.
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -19,6 +22,7 @@
 #include "bench_gen/random_circuit.hpp"
 #include "netlist/gate.hpp"
 #include "sim/engine.hpp"
+#include "sim/kernels/dispatch.hpp"
 #include "sim/pattern.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
@@ -102,9 +106,37 @@ std::uint64_t checksum_outputs(const netlist::Netlist& nl,
   return sum;
 }
 
+/// One single-threaded whole-set sweep measurement of `engine` at the given
+/// width: gate-evals/sec (best rep) plus the XOR output checksum, the shared
+/// unit of work behind the W-sweep and per-ISA rows.
+struct SweepMeasurement {
+  double gate_evals_per_sec = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+SweepMeasurement measure_engine_sweep(const Workload& w, double min_seconds,
+                                      const sim::Engine& engine, std::size_t words) {
+  sim::EvalBuffer buf;
+  SweepMeasurement m;
+  m.gate_evals_per_sec = measure(w, min_seconds, [&] {
+    m.checksum = 0;
+    const std::size_t n_blocks = w.patterns.block_count();
+    for (std::size_t first = 0; first < n_blocks; first += words) {
+      const std::size_t n = std::min(words, n_blocks - first);
+      engine.evaluate_blocks(buf, w.patterns, first, n);
+      for (std::size_t ww = 0; ww < n; ++ww)
+        for (const netlist::NetId out : w.netlist.outputs())
+          m.checksum ^= buf.word(out, ww);
+    }
+  });
+  return m;
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run_micro_sim(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
   const util::BenchMode mode = util::bench_mode_from_env();
 
@@ -155,23 +187,39 @@ int main(int argc, char** argv) {
   const std::uint64_t seed_checksum = results[0].checksum;
 
   // --- engine, single thread, W in {1, 4, 8} -------------------------------
+  // Uses the default backend selection, so these rows honor a forced
+  // DETERRENT_FORCE_ISA (reported as "engine_isa" in the JSON).
   const sim::Engine engine(w.netlist);
   for (const std::size_t words : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
-    sim::EvalBuffer buf;
-    std::uint64_t sum = 0;
-    const double rate = measure(w, min_seconds, [&] {
-      sum = 0;
-      const std::size_t n_blocks = w.patterns.block_count();
-      for (std::size_t first = 0; first < n_blocks; first += words) {
-        const std::size_t n = std::min(words, n_blocks - first);
-        engine.evaluate_blocks(buf, w.patterns, first, n);
-        for (std::size_t ww = 0; ww < n; ++ww)
-          for (const netlist::NetId out : w.netlist.outputs())
-            sum ^= buf.word(out, ww);
-      }
-    });
-    results.push_back({"engine_w" + std::to_string(words), 1, words, rate,
-                       rate / seed_rate, sum});
+    const auto m = measure_engine_sweep(w, min_seconds, engine, words);
+    results.push_back({"engine_w" + std::to_string(words), 1, words,
+                       m.gate_evals_per_sec, m.gate_evals_per_sec / seed_rate,
+                       m.checksum});
+  }
+
+  // --- engine, per-ISA kernel backends, W = 8 ------------------------------
+  // One engine per supported backend on the same workload; the scalar row is
+  // the speedup reference. Checksums must equal the seed simulator's — the
+  // backends are required to be bit-identical, not just fast.
+  struct IsaResult {
+    sim::kernels::Isa isa;
+    double gate_evals_per_sec = 0.0;
+    double speedup_vs_scalar = 0.0;
+    std::uint64_t checksum = 0;
+    bool checksums_ok = false;
+  };
+  std::vector<IsaResult> isa_results;
+  {
+    double scalar_rate = 0.0;
+    for (const sim::kernels::Isa isa : sim::kernels::supported_isas()) {
+      const sim::Engine isa_engine(w.netlist, isa);
+      const auto m = measure_engine_sweep(w, min_seconds, isa_engine,
+                                          sim::Engine::kDefaultWords);
+      if (isa == sim::kernels::Isa::Scalar) scalar_rate = m.gate_evals_per_sec;
+      isa_results.push_back({isa, m.gate_evals_per_sec,
+                             m.gate_evals_per_sec / scalar_rate, m.checksum,
+                             m.checksum == seed_checksum});
+    }
   }
 
   // --- engine, pattern-stripe parallel, W = 8 ------------------------------
@@ -316,6 +364,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(seed_checksum));
     }
   }
+
+  std::printf("\nSIMD kernel backends (W = %zu; engine rows above used: %s):\n",
+              sim::Engine::kDefaultWords, sim::kernels::to_string(engine.isa()));
+  std::printf("%-10s %16s %18s %10s\n", "isa", "gate_evals/s", "speedup_vs_scalar",
+              "checksums");
+  for (const auto& r : isa_results) {
+    std::printf("%-10s %16.3e %17.2fx %10s\n", sim::kernels::to_string(r.isa),
+                r.gate_evals_per_sec, r.speedup_vs_scalar,
+                r.checksums_ok ? "ok" : "MISMATCH");
+    checksums_ok = checksums_ok && r.checksums_ok;
+  }
   std::printf("checksums: %s\n", checksums_ok ? "all match" : "MISMATCH");
 
   FILE* f = std::fopen(out_path.c_str(), "w");
@@ -341,6 +400,22 @@ int main(int argc, char** argv) {
                  r.speedup_vs_seed, i + 1 == results.size() ? "" : ",");
   }
   std::fprintf(f, "  ],\n");
+  // The backend the engine_w* rows above actually ran on (honors a forced
+  // DETERRENT_FORCE_ISA); the per-ISA rows below are self-labeled.
+  std::fprintf(f, "  \"engine_isa\": \"%s\",\n",
+               sim::kernels::to_string(engine.isa()));
+  std::fprintf(f, "  \"simd\": [\n");
+  for (std::size_t i = 0; i < isa_results.size(); ++i) {
+    const auto& r = isa_results[i];
+    std::fprintf(f,
+                 "    {\"isa\": \"%s\", \"words\": %zu, \"gate_evals_per_sec\": "
+                 "%.6e, \"speedup_vs_scalar\": %.4f, \"checksums_ok\": %s}%s\n",
+                 sim::kernels::to_string(r.isa), sim::Engine::kDefaultWords,
+                 r.gate_evals_per_sec, r.speedup_vs_scalar,
+                 r.checksums_ok ? "true" : "false",
+                 i + 1 == isa_results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"incremental\": {\n");
   std::fprintf(f, "    \"scan_profile_gates\": %zu,\n", mut_gates);
   std::fprintf(f, "    \"scan_profile_inputs\": %zu,\n", mut_inputs);
@@ -355,4 +430,15 @@ int main(int argc, char** argv) {
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return checksums_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_micro_sim(argc, argv);
+  } catch (const std::exception& e) {  // e.g. a bad DETERRENT_FORCE_ISA value
+    std::fprintf(stderr, "micro_sim: %s\n", e.what());
+    return 1;
+  }
 }

@@ -69,6 +69,14 @@ struct CampaignReport {
 /// report. This is the "train-once, reuse-many" entry point — with a
 /// session_root, finished circuits are skipped on re-run and interrupted
 /// ones resume from their last artifact.
+///
+/// Resume semantics are per circuit and inherited from core::Session: each
+/// circuit's directory holds its own versioned artifact chain, validated
+/// against that circuit's netlist fingerprint on load, so renaming or
+/// reordering enrollments cannot cross-wire sessions. One circuit failing
+/// (or holding corrupt artifacts) is reported in its row and does not stop
+/// the others. Seeds are derived per circuit index from the base config, so
+/// a re-run — full or resumed — reproduces the original run exactly.
 class Campaign {
  public:
   /// Optional per-circuit pattern evaluator (e.g. trigger coverage against

@@ -58,15 +58,31 @@ enum class StageStatus { Complete, Cancelled, BudgetExhausted };
 ///
 /// The monolithic core::Deterrent flow, re-cut at its natural joints. Every
 /// stage can be run, exported as a versioned binary artifact, and later
-/// adopted into a fresh Pipeline (same netlist, same config) to resume —
-/// resumed runs are bit-identical to uninterrupted ones for a fixed seed:
-/// the rare-net stage hands its RNG state to the compatibility build, and
-/// PolicyArtifact checkpoints the complete trainer state (weights, Adam
-/// moments, RNG streams).
+/// adopted into a fresh Pipeline (same netlist, same config) to resume.
+///
+/// **Versioning.** Every artifact file carries the util::serialize envelope
+/// (magic, ArtifactKind, kArtifactFormatVersion, netlist fingerprint, CRC).
+/// Loaders pin kind AND version: a payload-layout change bumps
+/// kArtifactFormatVersion and old files are rejected loudly — there is no
+/// cross-version migration, regenerate instead. Stage artifacts are chained
+/// by content: each downstream artifact embeds the producing run's rare-net
+/// hash (RareNetArtifact::rare_hash), so adopt() can refuse a compatibility
+/// matrix, policy, or pattern set built from different rare nets even when
+/// the netlist matches.
+///
+/// **Resume semantics.** Resumed runs are bit-identical to uninterrupted
+/// ones for a fixed seed: the rare-net stage hands its RNG state to the
+/// compatibility build (RareNetArtifact::rng_state_after), and
+/// PolicyArtifact checkpoints the complete trainer state — MLP parameters,
+/// Adam moments, every RNG stream, the distinct-set pool, and the training
+/// history — so training continues mid-flight as if never interrupted.
+/// Adoption must happen in stage order, before the corresponding stage runs
+/// here; a fingerprint or hash-chain mismatch throws deterrent::Error.
 ///
 /// The netlist must be combinational (full-scan view for sequential designs)
 /// and must outlive the pipeline. core::Deterrent remains as a thin facade
-/// over this class; core::Session adds directory persistence.
+/// over this class; core::Session adds directory persistence, core::Campaign
+/// multi-circuit fan-out.
 class Pipeline {
  public:
   Pipeline(const netlist::Netlist& netlist, const DeterrentConfig& config);
@@ -108,10 +124,14 @@ class Pipeline {
   StageStatus run_remaining(const StageControl& control = {});
 
   // ---- artifact export / adoption ----------------------------------------
-  // Exports snapshot the pipeline state after a completed stage; adopting an
-  // artifact into a fresh pipeline restores exactly that state. Adoption
-  // validates the netlist fingerprint and the rare-net content hash chain,
-  // and must happen in stage order before the corresponding stage ran.
+  // Exports snapshot the pipeline state after a completed stage (export
+  // before completion throws); adopting an artifact into a fresh pipeline
+  // restores exactly that state. Adoption validates the netlist fingerprint
+  // and the rare-net content hash chain, and must happen in stage order
+  // before the corresponding stage ran — out-of-order or mismatched
+  // adoption throws deterrent::Error and leaves the pipeline unchanged.
+  // Save/load of the files themselves (envelope, version pinning, CRC) is
+  // the artifact types' job: see core/artifacts.hpp and util/serialize.hpp.
 
   RareNetArtifact export_rare_nets() const;
   CompatibilityArtifact export_compatibility() const;

@@ -18,11 +18,23 @@ namespace deterrent::core {
 ///   policy.art         PolicyArtifact (resumable training checkpoint)
 ///   patterns.art       PatternArtifact
 ///
-/// Every load is envelope-checked (magic, kind, version, CRC) and
-/// fingerprint-checked against the bound netlist, so stale or foreign files
-/// fail loudly. resume() reconstructs a Pipeline from whatever contiguous
-/// stage prefix is on disk; a run interrupted after any stage and resumed
-/// this way produces bit-identical patterns to an uninterrupted one.
+/// **Validation.** Every load is envelope-checked (magic, ArtifactKind,
+/// kArtifactFormatVersion, CRC) and fingerprint-checked against the bound
+/// netlist, so stale, truncated, version-skewed, or foreign files fail
+/// loudly with the offending path in the error — a session directory can
+/// never silently mix artifacts from different netlists, runs, or format
+/// versions. Files are written atomically (write-then-rename), so a crash
+/// mid-save leaves the previous consistent state.
+///
+/// **Resume semantics.** resume() reconstructs a Pipeline from the longest
+/// contiguous stage prefix on disk (a gap ends the prefix: patterns.art
+/// without policy.art is ignored); a run interrupted after any stage and
+/// resumed this way produces bit-identical patterns to an uninterrupted
+/// one. save() persists every completed stage — including a mid-training
+/// policy checkpoint once the train stage has started — and skips rewriting
+/// the immutable rare/compat artifacts that already exist. The layout is
+/// machine-portable: a directory written on one host resumes on another
+/// (this is the exchange unit of campaign and future distributed runs).
 class Session {
  public:
   static constexpr const char* kMetaFile = "session.meta";

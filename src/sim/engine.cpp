@@ -11,7 +11,11 @@ namespace deterrent::sim {
 using netlist::GateType;
 using netlist::NetId;
 
-Engine::Engine(const netlist::Netlist& netlist) : netlist_(&netlist) {
+static_assert(std::is_same_v<netlist::NetId, std::uint32_t>,
+              "kernels::ProgramView borrows the NetId arrays as raw uint32");
+
+Engine::Engine(const netlist::Netlist& netlist, std::optional<kernels::Isa> forced_isa)
+    : netlist_(&netlist), kernels_(&kernels::select_kernel_table(forced_isa)) {
   if (netlist.is_sequential())
     throw Error(
         "Engine requires a combinational netlist; apply make_full_scan to "
@@ -118,123 +122,24 @@ Engine::Engine(const netlist::Netlist& netlist) : netlist_(&netlist) {
   }
 }
 
-/// The evaluation loop, generic over the word count. WordCount is either a
-/// std::integral_constant (fully unrolled inner loops for the common sweep
-/// widths) or std::size_t (arbitrary tail batches). Evaluating in place is
-/// safe: a combinational gate never reads its own output.
-template <typename WordCount>
-void Engine::run_program(std::uint64_t* v, WordCount n_words) const {
-  const std::size_t n_ops = op_.size();
-  for (std::size_t k = 0; k < n_ops; ++k)
-    eval_op(k, v, v + std::size_t{out_[k]} * std::size_t{n_words}, n_words);
+kernels::ProgramView Engine::program_view() const {
+  kernels::ProgramView view;
+  view.op = op_.data();
+  view.out = out_.data();
+  view.a = a_.data();
+  view.b = b_.data();
+  view.nary_fanins = nary_fanins_.data();
+  view.n_ops = op_.size();
+  return view;
 }
 
-/// Evaluates program entry k against the value buffer `v`, writing the W
-/// result words to `out`. Aliasing `out` with v's slot for out_[k] is fine
-/// (a combinational gate never reads its own output) and is what run_program
-/// does; resimulate instead passes separate scratch — not for safety, but so
-/// it can compare old and new words for the change cut-off.
-template <typename WordCount>
-void Engine::eval_op(std::size_t k, const std::uint64_t* v, std::uint64_t* out,
-                     WordCount n_words) const {
-  const std::size_t W = n_words;
-  const std::uint64_t* a = v + std::size_t{a_[k]} * W;
-  switch (op_[k]) {
-    case Op::Const0:
-      for (std::size_t w = 0; w < W; ++w) out[w] = 0;
-      break;
-    case Op::Const1:
-      for (std::size_t w = 0; w < W; ++w) out[w] = ~0ULL;
-      break;
-    case Op::Buf:
-      for (std::size_t w = 0; w < W; ++w) out[w] = a[w];
-      break;
-    case Op::Not:
-      for (std::size_t w = 0; w < W; ++w) out[w] = ~a[w];
-      break;
-    case Op::And2: {
-      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-      for (std::size_t w = 0; w < W; ++w) out[w] = a[w] & b[w];
-      break;
-    }
-    case Op::Nand2: {
-      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-      for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] & b[w]);
-      break;
-    }
-    case Op::Or2: {
-      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-      for (std::size_t w = 0; w < W; ++w) out[w] = a[w] | b[w];
-      break;
-    }
-    case Op::Nor2: {
-      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-      for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] | b[w]);
-      break;
-    }
-    case Op::Xor2: {
-      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-      for (std::size_t w = 0; w < W; ++w) out[w] = a[w] ^ b[w];
-      break;
-    }
-    case Op::Xnor2: {
-      const std::uint64_t* b = v + std::size_t{b_[k]} * W;
-      for (std::size_t w = 0; w < W; ++w) out[w] = ~(a[w] ^ b[w]);
-      break;
-    }
-    case Op::AndN:
-    case Op::NandN: {
-      const NetId* f = nary_fanins_.data() + a_[k];
-      const std::uint32_t cnt = b_[k];
-      const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
-      for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
-      for (std::uint32_t j = 1; j < cnt; ++j) {
-        const std::uint64_t* fj = v + std::size_t{f[j]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] &= fj[w];
-      }
-      if (op_[k] == Op::NandN)
-        for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
-      break;
-    }
-    case Op::OrN:
-    case Op::NorN: {
-      const NetId* f = nary_fanins_.data() + a_[k];
-      const std::uint32_t cnt = b_[k];
-      const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
-      for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
-      for (std::uint32_t j = 1; j < cnt; ++j) {
-        const std::uint64_t* fj = v + std::size_t{f[j]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] |= fj[w];
-      }
-      if (op_[k] == Op::NorN)
-        for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
-      break;
-    }
-    case Op::XorN:
-    case Op::XnorN: {
-      const NetId* f = nary_fanins_.data() + a_[k];
-      const std::uint32_t cnt = b_[k];
-      const std::uint64_t* f0 = v + std::size_t{f[0]} * W;
-      for (std::size_t w = 0; w < W; ++w) out[w] = f0[w];
-      for (std::uint32_t j = 1; j < cnt; ++j) {
-        const std::uint64_t* fj = v + std::size_t{f[j]} * W;
-        for (std::size_t w = 0; w < W; ++w) out[w] ^= fj[w];
-      }
-      if (op_[k] == Op::XnorN)
-        for (std::size_t w = 0; w < W; ++w) out[w] = ~out[w];
-      break;
-    }
-  }
-}
-
+// The per-op W-word loops live in sim/kernels/ (one table per ISA, selected
+// at construction); run() and resimulate() both call through kernels_, so
+// full and incremental evaluation are bit-identical per backend by
+// construction. Evaluating in place is safe: a combinational gate never
+// reads its own output.
 void Engine::run(std::uint64_t* values, std::size_t n_words) const {
-  switch (n_words) {
-    case 1: run_program(values, std::integral_constant<std::size_t, 1>{}); break;
-    case 2: run_program(values, std::integral_constant<std::size_t, 2>{}); break;
-    case 4: run_program(values, std::integral_constant<std::size_t, 4>{}); break;
-    case 8: run_program(values, std::integral_constant<std::size_t, 8>{}); break;
-    default: run_program(values, n_words); break;
-  }
+  kernels_->run_program(program_view(), values, n_words);
 }
 
 void Engine::evaluate(EvalBuffer& buf, std::span<const std::uint64_t> input_words,
@@ -293,6 +198,7 @@ std::size_t Engine::resimulate_run(EvalBuffer& buf,
 
   buf.op_scratch_.resize(W);
   std::uint64_t* tmp = buf.op_scratch_.data();
+  const kernels::ProgramView program = program_view();
   std::size_t evaluated = 0;
   // Program order is topological, so every op scheduled by a change sits at
   // a strictly larger index: one ascending scan of the mask drains the whole
@@ -303,7 +209,7 @@ std::size_t Engine::resimulate_run(EvalBuffer& buf,
       const int bit = std::countr_zero(mask[word]);
       mask[word] &= mask[word] - 1;
       const std::size_t k = word * 64 + static_cast<std::size_t>(bit);
-      eval_op(k, v, tmp, n_words);
+      kernels_->eval_op(program, k, v, tmp, W);
       ++evaluated;
       std::uint64_t* out = v + std::size_t{out_[k]} * W;
       if (std::equal(tmp, tmp + W, out)) continue;  // change cut-off

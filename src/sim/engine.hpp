@@ -2,11 +2,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/kernels/dispatch.hpp"
 #include "sim/pattern.hpp"
+#include "util/aligned.hpp"
 
 namespace deterrent::sim {
 
@@ -45,7 +48,13 @@ class EvalBuffer {
 
   /// Whole buffer, net-major with stride words(). When words() == 1 this is
   /// exactly the legacy "one word per net, indexed by NetId" layout.
-  std::span<const std::uint64_t> flat() const { return values_; }
+  /// The storage base is 64-byte aligned (see util::CacheAlignedVector); at
+  /// the default W=8 every net's row is therefore one aligned cache line /
+  /// AVX-512 register. Alignment is a performance contract only — the SIMD
+  /// kernels use unaligned loads, so every W stays correct.
+  std::span<const std::uint64_t> flat() const {
+    return {values_.data(), values_.size()};
+  }
 
  private:
   friend class Engine;
@@ -56,7 +65,7 @@ class EvalBuffer {
     values_.resize(nets * words);
   }
 
-  std::vector<std::uint64_t> values_;
+  util::CacheAlignedVector<std::uint64_t> values_;
   std::vector<std::uint64_t> inputs_scratch_;  // single-pattern input staging
   std::size_t nets_ = 0;
   std::size_t words_ = 0;
@@ -64,9 +73,9 @@ class EvalBuffer {
   // Incremental re-simulation scratch (see Engine::resimulate). The op
   // bitmask doubles as worklist and dedup set; every bit is cleared as it is
   // drained, so the mask is all-zero between calls and never needs a reset.
-  const Engine* owner_ = nullptr;          // engine that last primed values_
-  std::vector<std::uint64_t> dirty_ops_;   // one bit per program entry
-  std::vector<std::uint64_t> op_scratch_;  // W-word temp for change detection
+  const Engine* owner_ = nullptr;         // engine that last primed values_
+  std::vector<std::uint64_t> dirty_ops_;  // one bit per program entry
+  util::CacheAlignedVector<std::uint64_t> op_scratch_;  // W-word change-detect temp
 };
 
 /// Batch logic-simulation engine: compiles a netlist once into a flat,
@@ -91,6 +100,14 @@ class EvalBuffer {
 /// are unchanged. Results are bit-identical to a full evaluate() of the same
 /// input state.
 ///
+/// SIMD backends: the W-word inner loops are provided by an ISA-tagged
+/// kernel table (scalar / NEON / AVX2 / AVX-512, see sim/kernels/). The
+/// table is selected once at construction — auto-detected via runtime CPUID
+/// by default, pinnable with the DETERRENT_FORCE_ISA environment variable or
+/// the explicit constructor argument — and both full sweeps and the
+/// incremental resimulate walk call through it, so every backend produces
+/// bit-identical value buffers.
+///
 /// Thread safety: every method is const and touches only the caller's
 /// EvalBuffer (including resimulate's worklist scratch), so one compiled
 /// Engine may be used from many threads concurrently as long as each thread
@@ -101,12 +118,21 @@ class Engine {
  public:
   /// Default words per sweep. 8 words (512 patterns) keeps the value buffer
   /// of typical benchmarks inside L2 while giving the inner loops enough
-  /// independent lanes to fill the execute ports.
+  /// independent lanes to fill the execute ports — and exactly fills one
+  /// AVX-512 register per net on hosts with that backend.
   static constexpr std::size_t kDefaultWords = 8;
 
-  explicit Engine(const netlist::Netlist& netlist);
+  /// Compiles `netlist` and binds a kernel backend. `forced_isa` pins the
+  /// backend (throws deterrent::Error when this host cannot run it); by
+  /// default the DETERRENT_FORCE_ISA environment variable is honored, then
+  /// the widest CPU-supported backend is auto-detected.
+  explicit Engine(const netlist::Netlist& netlist,
+                  std::optional<kernels::Isa> forced_isa = std::nullopt);
 
   const netlist::Netlist& target() const { return *netlist_; }
+
+  /// The kernel backend this engine dispatches to (fixed at construction).
+  kernels::Isa isa() const { return kernels_->isa; }
 
   /// Evaluates n_words blocks at once. `input_words` is input-major: word w
   /// of primary input i at [i * n_words + w]. Results land in `buf`, which
@@ -180,27 +206,9 @@ class Engine {
   }
 
  private:
-  /// Compiled opcodes. Arity-1 n-ary gates fold to Buf/Not at compile time;
-  /// arity-2 gates use the two-operand forms; wider gates fall back to the
-  /// *N forms, which read their fanins from the CSR pool.
-  enum class Op : std::uint8_t {
-    Const0,
-    Const1,
-    Buf,
-    Not,
-    And2,
-    Nand2,
-    Or2,
-    Nor2,
-    Xor2,
-    Xnor2,
-    AndN,
-    NandN,
-    OrN,
-    NorN,
-    XorN,
-    XnorN,
-  };
+  /// Compiled opcodes — see kernels::Op (hoisted into sim/kernels/ so the
+  /// per-ISA backend TUs can consume the program without netlist headers).
+  using Op = kernels::Op;
 
   /// Dirty fraction of the inputs beyond which resimulate() abandons the
   /// event-driven worklist for a plain full sweep (the union cone is almost
@@ -208,12 +216,10 @@ class Engine {
   static constexpr std::size_t kDenseFallbackDivisor = 4;
   static constexpr std::uint32_t kNoOp = 0xffffffffu;
 
+  /// Borrowed view of the compiled program in the kernels' layout.
+  kernels::ProgramView program_view() const;
+
   void run(std::uint64_t* values, std::size_t n_words) const;
-  template <typename WordCount>
-  void run_program(std::uint64_t* values, WordCount n_words) const;
-  template <typename WordCount>
-  void eval_op(std::size_t k, const std::uint64_t* v, std::uint64_t* out,
-               WordCount n_words) const;
   template <typename WordCount>
   std::size_t resimulate_run(EvalBuffer& buf,
                              std::span<const std::uint32_t> dirty_inputs,
@@ -221,6 +227,9 @@ class Engine {
                              WordCount n_words) const;
 
   const netlist::Netlist* netlist_;
+  /// Kernel backend shared by run() and resimulate() — full and incremental
+  /// evaluation always execute the same per-op code.
+  const kernels::KernelTable* kernels_;
   // One entry per combinational cell, in (levelized) topological order.
   std::vector<Op> op_;
   std::vector<netlist::NetId> out_;

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "sim/kernels/kernel_table.hpp"
+
+namespace deterrent::sim::kernels {
+
+/// Environment variable honored by select_kernel_table() (and therefore by
+/// every Engine constructed without an explicit ISA): "scalar", "avx2",
+/// "avx512", or "neon". Unset/empty means auto-detect; an unknown value or a
+/// backend this host cannot run throws deterrent::Error. Intended for A/B
+/// benchmarking and for CI legs that pin the backend.
+inline constexpr const char* kForceIsaEnv = "DETERRENT_FORCE_ISA";
+
+const char* to_string(Isa isa);
+
+/// Parses "scalar" / "avx2" / "avx512" / "neon"; nullopt on anything else.
+std::optional<Isa> parse_isa(std::string_view name);
+
+/// True when the backend was compiled into this binary (its TU had the
+/// required compiler flags / target architecture).
+bool isa_compiled(Isa isa);
+
+/// True when the backend is compiled in AND the running CPU can execute it
+/// (CPUID feature check on x86; architectural guarantee on aarch64).
+bool isa_supported(Isa isa);
+
+/// Every backend this process can actually run, narrowest first (always
+/// starts with Scalar). This is what differential tests and the per-ISA
+/// bench sweep iterate over.
+std::vector<Isa> supported_isas();
+
+/// The widest supported backend — what auto-detection picks.
+Isa best_isa();
+
+/// The kernel table for one backend; throws deterrent::Error when the
+/// backend is not compiled in or the CPU lacks the feature.
+const KernelTable& kernel_table(Isa isa);
+
+/// Selection used by Engine's constructor: `forced` wins when set, else the
+/// DETERRENT_FORCE_ISA environment variable, else best_isa(). Throws
+/// deterrent::Error for unknown names and unsupported backends — a forced
+/// ISA silently falling back to scalar would invalidate every benchmark
+/// comparison made with it.
+const KernelTable& select_kernel_table(std::optional<Isa> forced = std::nullopt);
+
+}  // namespace deterrent::sim::kernels

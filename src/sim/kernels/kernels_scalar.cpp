@@ -1,0 +1,14 @@
+// Scalar backend: plain 64-bit word loops, compiled with the project's base
+// flags. Always present — it is the reference every wide backend is checked
+// against, the fallback on unknown hosts, and the DETERRENT_FORCE_ISA=scalar
+// target for A/B benchmarking.
+#include "sim/kernels/kernels_impl.hpp"
+
+namespace deterrent::sim::kernels {
+
+const KernelTable* scalar_table() {
+  static const KernelTable table = make_table<ScalarVec>(Isa::Scalar, "scalar");
+  return &table;
+}
+
+}  // namespace deterrent::sim::kernels

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace deterrent::util {
+
+/// Minimal over-aligning allocator for std::vector: every allocation starts
+/// at an `Alignment`-byte boundary. Used by sim::EvalBuffer so value storage
+/// is 64-byte (cache-line / AVX-512 register) aligned — the SIMD kernels use
+/// unaligned loads for correctness, but aligned rows keep W=8 sweeps from
+/// splitting cache lines.
+template <class T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T), "alignment must not weaken the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// A std::vector whose storage starts on a cache-line (64-byte) boundary.
+template <class T>
+using CacheAlignedVector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace deterrent::util

@@ -102,15 +102,26 @@ struct Fnv1a {
 ///   payload                            payload_size bytes
 ///   crc     u32                        CRC-32 of the payload
 ///
+/// Versioning policy: `version` identifies the payload *layout* (the
+/// pipeline pins it to core::kArtifactFormatVersion, bumped on any layout
+/// change); `kind` is the payload *type* (core::ArtifactKind). Readers pin
+/// both and reject everything else — there is no cross-version migration
+/// path, stale artifacts are regenerated. `fingerprint` binds the file to
+/// one netlist structure; 0 is the "no fingerprint / skip the check"
+/// sentinel (see Fnv1a::value_nonzero).
+///
 /// All failure modes (missing file, bad magic, wrong kind, version skew,
 /// fingerprint mismatch, truncation, CRC mismatch, trailing bytes) throw
-/// deterrent::Error with the offending path in the message.
+/// deterrent::Error with the offending path in the message. Integers are
+/// little-endian on disk regardless of host order.
 struct ArtifactHeader {
   std::uint32_t kind = 0;
   std::uint32_t version = 0;
   std::uint64_t fingerprint = 0;
 };
 
+/// Writes envelope + payload atomically (temp file, then rename), so a
+/// crash mid-save can never leave a half-written artifact at `path`.
 void write_artifact_file(const std::string& path, const ArtifactHeader& header,
                          std::span<const std::uint8_t> payload);
 

@@ -1,15 +1,21 @@
 // Differential tests for the batch simulation engine: sim::Engine must agree
 // bit-exactly with the scalar reference oracle (evaluate_naive) on every gate
-// type, arity, circuit shape, sweep width W, and pattern-count boundary, and
-// its threaded sweeps must agree with single-threaded ones.
+// type, arity, circuit shape, sweep width W, and pattern-count boundary, its
+// threaded sweeps must agree with single-threaded ones, and every SIMD kernel
+// backend this host supports must agree word-for-word with the scalar backend
+// on both full evaluation and incremental re-simulation.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "analysis/compatibility.hpp"
 #include "analysis/rare_nets.hpp"
 #include "bench_gen/random_circuit.hpp"
 #include "sim/engine.hpp"
+#include "sim/kernels/dispatch.hpp"
 #include "sim/probability.hpp"
 #include "sim/simulator.hpp"
 #include "trojan/coverage.hpp"
@@ -421,6 +427,163 @@ TEST(Engine, IncrementalTriggerCheckerMatchesEvaluateCoverage) {
       const std::size_t bit = rng.below(pattern.size());
       pattern.set(bit, !pattern.test(bit));
     }
+  }
+}
+
+// --------------------------------------------------- SIMD kernel backends ---
+
+std::vector<std::uint64_t> to_words(std::span<const std::uint64_t> s) {
+  return {s.begin(), s.end()};
+}
+
+/// Scoped environment-variable override that restores the prior value (or
+/// absence) on destruction, so ISA-forcing tests cannot leak state into the
+/// rest of the suite.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value())
+      ::setenv(name_, saved_->c_str(), 1);
+    else
+      ::unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(EngineSimd, DetectionIsSaneAndStable) {
+  const auto isas = kernels::supported_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), kernels::Isa::Scalar);  // scalar is always runnable
+  for (const auto isa : isas) {
+    EXPECT_TRUE(kernels::isa_supported(isa));
+    EXPECT_TRUE(kernels::isa_compiled(isa));
+  }
+  // best_isa must itself be supported and at least as wide as anything else.
+  const auto best = kernels::best_isa();
+  EXPECT_TRUE(kernels::isa_supported(best));
+  for (const auto isa : isas) EXPECT_GE(static_cast<int>(best), static_cast<int>(isa));
+}
+
+TEST(EngineSimd, IsaNamesRoundTrip) {
+  for (const auto isa : {kernels::Isa::Scalar, kernels::Isa::Neon, kernels::Isa::Avx2,
+                         kernels::Isa::Avx512})
+    EXPECT_EQ(kernels::parse_isa(kernels::to_string(isa)), isa);
+  EXPECT_FALSE(kernels::parse_isa("sse9").has_value());
+  EXPECT_FALSE(kernels::parse_isa("").has_value());
+}
+
+/// Full evaluate: every supported backend must produce a value buffer
+/// bit-identical to the scalar backend's, for every net and word — including
+/// sweep widths that exercise the wide kernels' scalar tails (W=3, W=5).
+TEST(EngineSimd, BackendsBitIdenticalOnEvaluate) {
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    const Netlist nl = random_circuit(seed, 300, 14);
+    const Engine scalar_engine(nl, kernels::Isa::Scalar);
+    ASSERT_EQ(scalar_engine.isa(), kernels::Isa::Scalar);
+    for (const auto isa : kernels::supported_isas()) {
+      const Engine backend(nl, isa);
+      EXPECT_EQ(backend.isa(), isa);
+      for (const std::size_t words :
+           {std::size_t{1}, std::size_t{3}, std::size_t{5}, std::size_t{8}}) {
+        util::Rng rng(seed * 71 + words);
+        const auto inputs = random_input_words(nl.inputs().size(), words, rng);
+        EvalBuffer ref, got;
+        scalar_engine.evaluate(ref, inputs, words);
+        backend.evaluate(got, inputs, words);
+        ASSERT_EQ(to_words(got.flat()), to_words(ref.flat()))
+            << kernels::to_string(isa) << " seed " << seed << " W " << words;
+      }
+    }
+  }
+}
+
+/// Incremental resimulate: the same mutate/resimulate chain, run through
+/// every backend, must track the scalar backend word-for-word at every step
+/// (dirty sets span single-bit, multi-bit, and the dense-fallback regime).
+TEST(EngineSimd, BackendsBitIdenticalOnResimulate) {
+  const Netlist nl = random_circuit(17, 300, 16);
+  const std::size_t n_inputs = nl.inputs().size();
+  const Engine scalar_engine(nl, kernels::Isa::Scalar);
+  for (const auto isa : kernels::supported_isas()) {
+    const Engine backend(nl, isa);
+    for (const std::size_t words : {std::size_t{1}, std::size_t{8}}) {
+      util::Rng rng(words * 131 + 7);
+      auto inputs = random_input_words(n_inputs, words, rng);
+      EvalBuffer ref, got;
+      scalar_engine.evaluate(ref, inputs, words);
+      backend.evaluate(got, inputs, words);
+
+      const std::size_t dirty_sizes[] = {1, 2, 1, 5, n_inputs, 1, 3};
+      for (int step = 0; step < 30; ++step) {
+        const std::size_t n_dirty = dirty_sizes[step % std::size(dirty_sizes)];
+        std::vector<std::uint32_t> dirty;
+        std::vector<std::uint64_t> dirty_words;
+        for (std::size_t j = 0; j < n_dirty; ++j) {
+          const auto i = static_cast<std::uint32_t>(rng.below(n_inputs));
+          dirty.push_back(i);
+          for (std::size_t w = 0; w < words; ++w) {
+            const std::uint64_t nw = rng.next_word();
+            dirty_words.push_back(nw);
+            inputs[i * words + w] = nw;
+          }
+        }
+        scalar_engine.resimulate(ref, dirty, dirty_words, words);
+        backend.resimulate(got, dirty, dirty_words, words);
+        ASSERT_EQ(to_words(got.flat()), to_words(ref.flat()))
+            << kernels::to_string(isa) << " W " << words << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(EngineSimd, ForcedIsaConstructorArgument) {
+  const Netlist nl = random_circuit(6);
+  for (const auto isa : kernels::supported_isas())
+    EXPECT_EQ(Engine(nl, isa).isa(), isa);
+}
+
+TEST(EngineSimd, ForcedIsaEnvOverride) {
+  const Netlist nl = random_circuit(6);
+  {
+    ScopedEnv env(kernels::kForceIsaEnv, "scalar");
+    EXPECT_EQ(Engine(nl).isa(), kernels::Isa::Scalar);
+  }
+  {
+    // Empty means unset: auto-detect, never an error.
+    ScopedEnv env(kernels::kForceIsaEnv, "");
+    EXPECT_EQ(Engine(nl).isa(), kernels::best_isa());
+  }
+  {
+    ScopedEnv env(kernels::kForceIsaEnv, "sse9");
+    EXPECT_THROW(Engine{nl}, Error);
+  }
+}
+
+TEST(EngineSimd, ForcingUnsupportedIsaThrows) {
+  // Find a backend this host cannot run. x86 hosts can never run NEON and
+  // aarch64 hosts can never run AVX2, so at least one always exists.
+  std::optional<kernels::Isa> unsupported;
+  for (const auto isa : {kernels::Isa::Neon, kernels::Isa::Avx2, kernels::Isa::Avx512})
+    if (!kernels::isa_supported(isa)) {
+      unsupported = isa;
+      break;
+    }
+  ASSERT_TRUE(unsupported.has_value());
+
+  const Netlist nl = random_circuit(6);
+  EXPECT_THROW(Engine(nl, *unsupported), Error);
+  EXPECT_THROW(kernels::kernel_table(*unsupported), Error);
+  {
+    ScopedEnv env(kernels::kForceIsaEnv, kernels::to_string(*unsupported));
+    EXPECT_THROW(Engine{nl}, Error);
   }
 }
 
