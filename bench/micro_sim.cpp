@@ -210,12 +210,24 @@ int run_micro_sim(int argc, char** argv) {
   };
   std::vector<IsaResult> isa_results;
   {
-    double scalar_rate = 0.0;
+    // Measure the scalar baseline explicitly first (it is always supported)
+    // instead of relying on supported_isas() listing Scalar before the wide
+    // backends — the speedup denominator must never be an uninitialized 0.
+    const sim::Engine scalar_engine(w.netlist, sim::kernels::Isa::Scalar);
+    const auto sm = measure_engine_sweep(w, min_seconds, scalar_engine,
+                                         sim::Engine::kDefaultWords);
+    const double scalar_rate = sm.gate_evals_per_sec;
+    if (!(scalar_rate > 0.0)) {
+      std::fprintf(stderr, "micro_sim: scalar baseline rate is not positive\n");
+      return 1;
+    }
+    isa_results.push_back({sim::kernels::Isa::Scalar, sm.gate_evals_per_sec, 1.0,
+                           sm.checksum, sm.checksum == seed_checksum});
     for (const sim::kernels::Isa isa : sim::kernels::supported_isas()) {
+      if (isa == sim::kernels::Isa::Scalar) continue;
       const sim::Engine isa_engine(w.netlist, isa);
       const auto m = measure_engine_sweep(w, min_seconds, isa_engine,
                                           sim::Engine::kDefaultWords);
-      if (isa == sim::kernels::Isa::Scalar) scalar_rate = m.gate_evals_per_sec;
       isa_results.push_back({isa, m.gate_evals_per_sec,
                              m.gate_evals_per_sec / scalar_rate, m.checksum,
                              m.checksum == seed_checksum});

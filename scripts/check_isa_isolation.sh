@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# ISA-isolation check for the SIMD kernel backends.
+#
+# The per-ISA TUs (src/sim/kernels/kernels_avx2.cpp, kernels_avx512.cpp) are
+# compiled with -mavx2 / -mavx512f, but their table factories are called on
+# EVERY host during ISA detection — before dispatch consults CPUID. The only
+# vector instructions those objects may contain must sit behind the
+# KernelTable function pointers, which dispatch hands out only to capable
+# CPUs. This script disassembles the built objects and fails if that contract
+# regresses:
+#
+#   1. the object has a static initializer (.init_array / .ctors) — code in
+#      an ISA-flagged TU that runs unconditionally at program startup;
+#   2. the <isa>_table() factory function contains a VEX/EVEX-encoded
+#      instruction (mnemonic starting with "v") — the lazy-init path of a
+#      function-local static is the classic way this happens.
+#
+# Usage: scripts/check_isa_isolation.sh [build_dir]   (default: build)
+set -euo pipefail
+
+build_dir="${1:-build}"
+obj_dir="$build_dir/CMakeFiles/deterrent.dir/src/sim/kernels"
+status=0
+checked=0
+
+for isa in avx2 avx512; do
+  obj="$obj_dir/kernels_${isa}.cpp.o"
+  if [ ! -f "$obj" ]; then
+    echo "skip: $obj not found (backend not built)"
+    continue
+  fi
+  checked=$((checked + 1))
+
+  if readelf -S "$obj" | grep -Eq '\.(init_array|ctors)'; then
+    echo "FAIL: $obj has a static initializer section — code compiled with" \
+         "-m$isa would run at startup on every host"
+    status=1
+  fi
+
+  # Extract the factory's disassembly (from its symbol header to the next
+  # blank line) and pull out the instruction mnemonics: objdump lines are
+  # "addr:<tab>hex bytes<tab>mnemonic operands". Match the symbol with a
+  # fixed-string index(), not a regex — the "()" in the demangled name would
+  # need escaping whose handling differs between mawk and gawk.
+  mnemonics=$(objdump -d -C "$obj" |
+    awk -v sym="<deterrent::sim::kernels::${isa}_table()>:" \
+      'index($0, sym) {f=1; next} /^$/ {f=0} f' |
+    awk -F'\t' 'NF >= 3 {split($3, m, " "); print m[1]}')
+  if [ -z "$mnemonics" ]; then
+    echo "FAIL: could not locate ${isa}_table() in $obj"
+    status=1
+  elif echo "$mnemonics" | grep -Eq '^v'; then
+    echo "FAIL: ${isa}_table() in $obj contains vector instructions:"
+    echo "$mnemonics" | grep -E '^v' | sort -u | sed 's/^/    /'
+    echo "  (the factory runs before CPUID checks; its table must be constinit)"
+    status=1
+  else
+    echo "ok: ${isa}_table() is baseline-safe ($(echo "$mnemonics" | tr '\n' ' '))"
+  fi
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "note: no x86 SIMD kernel objects found under $obj_dir (non-x86 build?)"
+fi
+exit "$status"

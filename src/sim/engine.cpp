@@ -199,6 +199,9 @@ std::size_t Engine::resimulate_run(EvalBuffer& buf,
   buf.op_scratch_.resize(W);
   std::uint64_t* tmp = buf.op_scratch_.data();
   const kernels::ProgramView program = program_view();
+  // Resolve the width-specialized evaluator once; the drain loop below calls
+  // it per op, and a per-op width switch would be pure overhead.
+  const kernels::EvalOpFn eval_op = kernels_->eval_op_for(W);
   std::size_t evaluated = 0;
   // Program order is topological, so every op scheduled by a change sits at
   // a strictly larger index: one ascending scan of the mask drains the whole
@@ -209,7 +212,7 @@ std::size_t Engine::resimulate_run(EvalBuffer& buf,
       const int bit = std::countr_zero(mask[word]);
       mask[word] &= mask[word] - 1;
       const std::size_t k = word * 64 + static_cast<std::size_t>(bit);
-      kernels_->eval_op(program, k, v, tmp, W);
+      eval_op(program, k, v, tmp, W);
       ++evaluated;
       std::uint64_t* out = v + std::size_t{out_[k]} * W;
       if (std::equal(tmp, tmp + W, out)) continue;  // change cut-off

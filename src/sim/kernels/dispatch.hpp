@@ -33,7 +33,13 @@ bool isa_supported(Isa isa);
 /// bench sweep iterate over.
 std::vector<Isa> supported_isas();
 
-/// The widest supported backend — what auto-detection picks.
+/// The widest supported backend — what auto-detection picks. "Best" is a
+/// register-width preference, not a measurement: on hosts where 512-bit ops
+/// downclock or are double-pumped, avx2 can out-run avx512 by a few percent
+/// (the per-ISA rows of BENCH_sim.json show the actual ranking for a host).
+/// Width is still the default because it is deterministic and free at
+/// engine construction; pin DETERRENT_FORCE_ISA (or pass an explicit Isa)
+/// when a measured campaign says otherwise.
 Isa best_isa();
 
 /// The kernel table for one backend; throws deterrent::Error when the

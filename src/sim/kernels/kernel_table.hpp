@@ -59,12 +59,25 @@ struct ProgramView {
   std::size_t n_ops = 0;
 };
 
-/// One backend: the full-program sweep loop and the single-op evaluator the
-/// incremental resimulate walk calls per drained work item. Both take the
-/// word count at runtime and internally dispatch the common sweep widths
-/// (1/2/4/8) to fully-unrolled variants. Value buffers are expected (not
-/// required) to be 64-byte aligned — the kernels use unaligned loads, so
-/// alignment is a performance contract, never a correctness one.
+/// A single-op evaluator: evaluates program entry k against `values`,
+/// writing the W result words to `out`. Obtained from
+/// KernelTable::eval_op_for — see the contract there.
+using EvalOpFn = void (*)(const ProgramView& program, std::size_t k,
+                          const std::uint64_t* values, std::uint64_t* out,
+                          std::size_t n_words);
+
+/// One backend: the full-program sweep loop and a resolver for the single-op
+/// evaluator the incremental resimulate walk calls per drained work item.
+/// run_program takes the word count at runtime and internally dispatches the
+/// common sweep widths (1/2/4/8) to fully-unrolled variants; eval_op_for
+/// performs that same width dispatch ONCE, returning an evaluator
+/// specialized for the given count — resimulate drains thousands of
+/// single-op items at one fixed W, so a per-op width switch would be pure
+/// overhead on that hot path. Calling the returned evaluator with a
+/// different n_words than it was resolved for is undefined. Value buffers
+/// are expected (not required) to be 64-byte aligned — the kernels use
+/// unaligned loads, so alignment is a performance contract, never a
+/// correctness one.
 ///
 /// Backends are bit-identical by construction: every table implements the
 /// same word-level boolean algebra, so evaluate/resimulate results never
@@ -74,15 +87,19 @@ struct KernelTable {
   const char* name = "scalar";
   void (*run_program)(const ProgramView& program, std::uint64_t* values,
                       std::size_t n_words) = nullptr;
-  void (*eval_op)(const ProgramView& program, std::size_t k,
-                  const std::uint64_t* values, std::uint64_t* out,
-                  std::size_t n_words) = nullptr;
+  EvalOpFn (*eval_op_for)(std::size_t n_words) = nullptr;
 };
 
 // Backend factories, one per TU. Each returns its table, or nullptr when the
 // backend was not compiled in (missing compiler flag or wrong architecture).
 // Whether the *CPU* can run a compiled-in backend is a separate, runtime
-// question answered by dispatch.hpp.
+// question answered by dispatch.hpp — which means these factories are called
+// on hosts that CANNOT run the backend. They must therefore be safe on any
+// CPU of the target architecture: each table is constinit (initialized at
+// compile time, no startup code in the ISA-flagged TU), and the factory body
+// is a bare address return. scripts/check_isa_isolation.sh checks the built
+// objects for regressions (static initializers, vector instructions in the
+// factory).
 const KernelTable* scalar_table();
 const KernelTable* avx2_table();
 const KernelTable* avx512_table();

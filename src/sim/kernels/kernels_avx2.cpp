@@ -30,12 +30,15 @@ struct Avx2Vec {
   static Reg not_(Reg a) { return _mm256_xor_si256(a, ones()); }
 };
 
+// constinit: the factory runs on every host during ISA detection, so this
+// -mavx2 TU must emit no initialization code — see kernels_avx512.cpp.
+constinit const KernelTable kTable{Isa::Avx2, "avx2",
+                                   &run_program_entry<Avx2Vec>,
+                                   &eval_op_for_entry<Avx2Vec>};
+
 }  // namespace
 
-const KernelTable* avx2_table() {
-  static const KernelTable table = make_table<Avx2Vec>(Isa::Avx2, "avx2");
-  return &table;
-}
+const KernelTable* avx2_table() { return &kTable; }
 
 }  // namespace deterrent::sim::kernels
 

@@ -32,12 +32,20 @@ struct Avx512Vec {
   static Reg not_(Reg a) { return _mm512_ternarylogic_epi64(a, a, a, 0x55); }
 };
 
+// constinit: the factory below runs on EVERY host during ISA detection
+// (isa_compiled is checked before cpu_supports), and this TU is compiled
+// with -mavx512f — a dynamic initializer or lazy static-init path emitted
+// here could itself contain AVX instructions and SIGILL a pre-AVX host. With
+// compile-time initialization the only AVX-512 code in the object sits
+// behind the two table function pointers, which dispatch hands out only to
+// capable CPUs. scripts/check_isa_isolation.sh verifies this shape in CI.
+constinit const KernelTable kTable{Isa::Avx512, "avx512",
+                                   &run_program_entry<Avx512Vec>,
+                                   &eval_op_for_entry<Avx512Vec>};
+
 }  // namespace
 
-const KernelTable* avx512_table() {
-  static const KernelTable table = make_table<Avx512Vec>(Isa::Avx512, "avx512");
-  return &table;
-}
+const KernelTable* avx512_table() { return &kTable; }
 
 }  // namespace deterrent::sim::kernels
 

@@ -13,7 +13,9 @@
 // internal linkage guarantees none of this code can be merged across TUs by
 // the linker — the only way wide instructions are reached is through the
 // KernelTable function pointers, which runtime dispatch hands out only on
-// hosts that support them.
+// hosts that support them. For the same reason each TU's table must be
+// constinit (no dynamic initializer, no lazy static-init path): the table
+// factories run on every host during ISA detection, before any CPUID check.
 
 namespace deterrent::sim::kernels {
 namespace {
@@ -185,26 +187,31 @@ void run_program_entry(const ProgramView& p, std::uint64_t* v, std::size_t n_wor
   }
 }
 
-template <class V>
-void eval_op_entry(const ProgramView& p, std::size_t k, const std::uint64_t* v,
-                   std::uint64_t* out, std::size_t n_words) {
-  switch (n_words) {
-    case 1: eval_op_impl<V>(p, k, v, out, WC<1>{}); break;
-    case 2: eval_op_impl<V>(p, k, v, out, WC<2>{}); break;
-    case 4: eval_op_impl<V>(p, k, v, out, WC<4>{}); break;
-    case 8: eval_op_impl<V>(p, k, v, out, WC<8>{}); break;
-    default: eval_op_impl<V>(p, k, v, out, n_words); break;
-  }
+template <class V, std::size_t N>
+void eval_op_fixed(const ProgramView& p, std::size_t k, const std::uint64_t* v,
+                   std::uint64_t* out, std::size_t /*n_words*/) {
+  eval_op_impl<V>(p, k, v, out, WC<N>{});
 }
 
 template <class V>
-KernelTable make_table(Isa isa, const char* name) {
-  KernelTable t;
-  t.isa = isa;
-  t.name = name;
-  t.run_program = &run_program_entry<V>;
-  t.eval_op = &eval_op_entry<V>;
-  return t;
+void eval_op_any(const ProgramView& p, std::size_t k, const std::uint64_t* v,
+                 std::uint64_t* out, std::size_t n_words) {
+  eval_op_impl<V>(p, k, v, out, n_words);
+}
+
+/// Resolves the width dispatch once per resimulate call instead of once per
+/// drained op (the walk evaluates thousands of single ops at one fixed W).
+/// The fixed-width evaluators ignore their n_words argument — the caller
+/// promised it at resolution time.
+template <class V>
+EvalOpFn eval_op_for_entry(std::size_t n_words) {
+  switch (n_words) {
+    case 1: return &eval_op_fixed<V, 1>;
+    case 2: return &eval_op_fixed<V, 2>;
+    case 4: return &eval_op_fixed<V, 4>;
+    case 8: return &eval_op_fixed<V, 8>;
+    default: return &eval_op_any<V>;
+  }
 }
 
 }  // namespace

@@ -29,12 +29,16 @@ struct NeonVec {
   static Reg not_(Reg a) { return veorq_u64(a, ones()); }
 };
 
+// constinit for uniformity with the x86 backends (NEON is architecturally
+// mandatory on aarch64, so there is no SIGILL hazard here — see
+// kernels_avx512.cpp for why the x86 TUs require it).
+constinit const KernelTable kTable{Isa::Neon, "neon",
+                                   &run_program_entry<NeonVec>,
+                                   &eval_op_for_entry<NeonVec>};
+
 }  // namespace
 
-const KernelTable* neon_table() {
-  static const KernelTable table = make_table<NeonVec>(Isa::Neon, "neon");
-  return &table;
-}
+const KernelTable* neon_table() { return &kTable; }
 
 }  // namespace deterrent::sim::kernels
 

@@ -5,10 +5,14 @@
 #include "sim/kernels/kernels_impl.hpp"
 
 namespace deterrent::sim::kernels {
+namespace {
 
-const KernelTable* scalar_table() {
-  static const KernelTable table = make_table<ScalarVec>(Isa::Scalar, "scalar");
-  return &table;
-}
+constinit const KernelTable kTable{Isa::Scalar, "scalar",
+                                   &run_program_entry<ScalarVec>,
+                                   &eval_op_for_entry<ScalarVec>};
+
+}  // namespace
+
+const KernelTable* scalar_table() { return &kTable; }
 
 }  // namespace deterrent::sim::kernels
