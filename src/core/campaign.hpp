@@ -13,6 +13,11 @@ namespace deterrent::core {
 struct CampaignCircuit {
   std::string name;
   const netlist::Netlist* netlist = nullptr;
+  /// Optional original (typically sequential) design behind `netlist`'s scan
+  /// view. When set and CampaignConfig::workload_cycles > 0, the campaign
+  /// executes a multi-trace workload on it through sim::SequentialEngine
+  /// after the pipeline completes and reports the measured throughput.
+  const netlist::Netlist* workload = nullptr;
 };
 
 struct CampaignConfig {
@@ -31,6 +36,12 @@ struct CampaignConfig {
   /// files, and a re-run campaign resumes every circuit from its artifacts
   /// instead of starting over.
   std::string session_root;
+  /// Sequential workload evaluation: after a circuit's pipeline completes,
+  /// step this many clock cycles of seeded, slowly-varying random stimulus
+  /// on its `workload` netlist (when enrolled), `workload_traces` traces in
+  /// lock-step per sim::SequentialEngine call. 0 disables the stage.
+  std::size_t workload_cycles = 0;
+  std::size_t workload_traces = 64;
 };
 
 /// Per-circuit outcome row of a campaign run.
@@ -47,6 +58,14 @@ struct CampaignCircuitReport {
   std::size_t patterns = 0;
   std::uint64_t sat_queries = 0;
   double coverage_percent = -1.0;  ///< -1 when no evaluator was configured
+  /// Sequential workload stage (0 / -1 when not run): cycles actually
+  /// stepped, lock-step traces, aggregate trace-cycles per second, and the
+  /// mean gate evaluations per cycle (activity — full program size would
+  /// mean every cycle fell back to a dense sweep).
+  std::size_t workload_cycles = 0;
+  std::size_t workload_traces = 0;
+  double workload_trace_cycles_per_sec = 0.0;
+  double workload_gate_evals_per_cycle = -1.0;
   double seconds = 0.0;
 };
 
@@ -90,6 +109,12 @@ class Campaign {
   explicit Campaign(CampaignConfig config);
 
   void add(std::string name, const netlist::Netlist& netlist);
+  /// Enrolls a circuit together with its original (sequential) design, so
+  /// the workload stage (CampaignConfig::workload_cycles) can execute
+  /// multi-trace cycles on it. Pass e.g. `benchmark.scan.comb` and
+  /// `benchmark.original`.
+  void add(std::string name, const netlist::Netlist& netlist,
+           const netlist::Netlist& workload);
   std::size_t circuit_count() const { return circuits_.size(); }
 
   void set_evaluator(Evaluator evaluator) { evaluator_ = std::move(evaluator); }

@@ -1,69 +1,22 @@
 #include "sim/sequential.hpp"
 
-#include <algorithm>
-
-#include "util/assert.hpp"
-
 namespace deterrent::sim {
 
-using netlist::NetId;
-
-SequentialSimulator::SequentialSimulator(const netlist::Netlist& netlist)
-    : netlist_(&netlist),
-      scan_(netlist::make_full_scan(netlist)),
-      comb_sim_(scan_.comb),
-      state_(scan_.pseudo_inputs.size(), false) {}
-
-void SequentialSimulator::reset(bool value) {
-  std::fill(state_.begin(), state_.end(), value);
-  cycles_ = 0;
-}
-
-void SequentialSimulator::set_state(NetId q, bool value) {
-  for (std::size_t i = 0; i < scan_.pseudo_inputs.size(); ++i) {
-    if (scan_.pseudo_inputs[i] == q) {
-      state_[i] = value;
-      return;
-    }
+const util::BitVec& SequentialSimulator::step(const Pattern& inputs) {
+  engine_.step_broadcast(inputs);
+  const std::size_t nets = target().net_count();
+  if (values_.size() != nets) values_ = util::BitVec(nets);
+  // Trace 0 is bit lane 0 of every net's word 0; repack 64 nets per output
+  // word instead of a bit-at-a-time loop.
+  const EvalBuffer& buf = engine_.values();
+  for (std::size_t word = 0; word * 64 < nets; ++word) {
+    const std::size_t hi = std::min<std::size_t>(nets, word * 64 + 64);
+    std::uint64_t packed = 0;
+    for (std::size_t net = word * 64; net < hi; ++net)
+      packed |= (buf.word(static_cast<netlist::NetId>(net), 0) & 1ULL)
+                << (net & 63);
+    values_.set_word(word, packed);
   }
-  DETERRENT_ASSERT(false, "set_state: net is not a DFF output");
-}
-
-bool SequentialSimulator::state(NetId q) const {
-  for (std::size_t i = 0; i < scan_.pseudo_inputs.size(); ++i)
-    if (scan_.pseudo_inputs[i] == q) return state_[i];
-  DETERRENT_ASSERT(false, "state: net is not a DFF output");
-  return false;
-}
-
-const std::vector<bool>& SequentialSimulator::step(const Pattern& inputs) {
-  DETERRENT_ASSERT(inputs.size() == netlist_->inputs().size(),
-                   "step: input arity mismatch (primary inputs only)");
-  // Scan-view input order = net-id order over {original PIs} ∪ {DFF outputs};
-  // build the combined assignment.
-  const auto scan_inputs = scan_.comb.inputs();
-  Pattern combined(scan_inputs.size());
-  std::size_t pi_index = 0;
-  std::size_t ff_index = 0;
-  for (std::size_t i = 0; i < scan_inputs.size(); ++i) {
-    const NetId net = scan_inputs[i];
-    if (ff_index < scan_.pseudo_inputs.size() && scan_.pseudo_inputs[ff_index] == net) {
-      combined.set(i, state_[ff_index]);
-      ++ff_index;
-    } else {
-      combined.set(i, inputs.test(pi_index));
-      ++pi_index;
-    }
-  }
-  DETERRENT_ASSERT(pi_index == inputs.size() && ff_index == state_.size(),
-                   "step: input mapping mismatch");
-
-  values_ = comb_sim_.simulate_pattern(combined);
-
-  // Clock edge: every Q takes its D value.
-  for (std::size_t i = 0; i < scan_.pseudo_inputs.size(); ++i)
-    state_[i] = values_[scan_.pseudo_outputs[i]];
-  ++cycles_;
   return values_;
 }
 

@@ -1,8 +1,8 @@
 #pragma once
 
-#include "netlist/scan.hpp"
 #include "sim/pattern.hpp"
-#include "sim/simulator.hpp"
+#include "sim/sequential_engine.hpp"
+#include "util/bitvec.hpp"
 
 namespace deterrent::sim {
 
@@ -11,37 +11,55 @@ namespace deterrent::sim {
 /// workloads on generated designs — e.g. running programs on the MIPS16-like
 /// processor — complementing the single-cycle combinational engine the
 /// DETERRENT pipeline uses under full scan.
+///
+/// Since the sequential-engine rebuild this is a verified single-trace
+/// facade over sim::SequentialEngine: each step() evaluates the scan-cut
+/// combinational cone through the compiled engine, incrementally against the
+/// previous cycle (only the fanout cones of changed inputs / changed state
+/// bits re-evaluate). Results are bit-identical to the seed per-cycle
+/// full-evaluation path; the differential suite in
+/// tests/test_sequential_engine.cpp pins that. Batch consumers that can run
+/// many traces in lock-step should use SequentialEngine directly.
 class SequentialSimulator {
  public:
-  explicit SequentialSimulator(const netlist::Netlist& netlist);
+  explicit SequentialSimulator(const netlist::Netlist& netlist)
+      : engine_(netlist, /*n_traces=*/1) {}
 
-  const netlist::Netlist& target() const { return *netlist_; }
+  const netlist::Netlist& target() const { return engine_.target(); }
 
-  /// Sets every flip-flop to `value`.
-  void reset(bool value = false);
+  /// The underlying multi-trace engine (this facade owns trace 0).
+  const SequentialEngine& engine() const { return engine_; }
 
-  /// Direct state access by the DFF's Q-output net id.
-  void set_state(netlist::NetId q, bool value);
-  bool state(netlist::NetId q) const;
+  /// Sets every flip-flop to `value`. Invalidates values(): any reference
+  /// returned by a previous step() becomes empty (size 0), so stale reads
+  /// fail loudly on the BitVec bounds assert instead of returning the dead
+  /// cycle's data.
+  void reset(bool value = false) {
+    engine_.reset(value);
+    values_ = util::BitVec();
+  }
+
+  /// Direct state access by the DFF's Q-output net id: the value Q takes at
+  /// the next step().
+  void set_state(netlist::NetId q, bool value) { engine_.set_state(q, 0, value); }
+  bool state(netlist::NetId q) const { return engine_.state(q, 0); }
 
   /// Applies one cycle: evaluates combinational logic under `inputs`
   /// (primary inputs only, Netlist::inputs() order of the original design),
-  /// returns all net values for this cycle, then clocks Q <= D.
-  /// The returned reference stays valid until the next step()/reset().
-  const std::vector<bool>& step(const Pattern& inputs);
+  /// returns all net values for this cycle (bit per NetId), then clocks
+  /// Q <= D. The returned reference stays valid until the next
+  /// step()/reset() — both invalidate it (reset() additionally empties it).
+  const util::BitVec& step(const Pattern& inputs);
 
-  /// Values of the most recent step (pre-clock-edge), indexed by NetId.
-  const std::vector<bool>& values() const { return values_; }
+  /// Values of the most recent step (pre-clock-edge), bit-indexed by NetId.
+  /// Empty until the first step() after construction or reset().
+  const util::BitVec& values() const { return values_; }
 
-  std::uint64_t cycle_count() const { return cycles_; }
+  std::uint64_t cycle_count() const { return engine_.cycle_count(); }
 
  private:
-  const netlist::Netlist* netlist_;
-  netlist::ScanView scan_;
-  Simulator comb_sim_;
-  std::vector<bool> state_;   // per DFF, parallel to scan_.pseudo_inputs
-  std::vector<bool> values_;  // last cycle's full net values
-  std::uint64_t cycles_ = 0;
+  SequentialEngine engine_;
+  util::BitVec values_;  // trace-0 lane of the last cycle, bit per net
 };
 
 }  // namespace deterrent::sim

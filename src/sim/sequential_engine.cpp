@@ -1,0 +1,154 @@
+#include "sim/sequential_engine.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace deterrent::sim {
+
+using netlist::NetId;
+
+SequentialEngine::SequentialEngine(const netlist::Netlist& netlist,
+                                   std::size_t n_traces,
+                                   std::optional<kernels::Isa> forced_isa)
+    : netlist_(&netlist),
+      scan_(netlist::make_full_scan(netlist)),
+      engine_(scan_.comb, forced_isa),
+      traces_(n_traces),
+      words_((n_traces + 63) / 64) {
+  DETERRENT_ASSERT(n_traces >= 1, "SequentialEngine: need at least one trace");
+
+  // The scan view's input list merges {original PIs} ∪ {DFF Q nets} in net-id
+  // order; resolve each side's resimulate ordinals once.
+  const auto scan_inputs = scan_.comb.inputs();
+  pi_ordinal_.reserve(netlist.inputs().size());
+  ff_ordinal_.reserve(scan_.pseudo_inputs.size());
+  q_to_dff_.assign(netlist.net_count(), kNotDff);
+  std::size_t ff = 0;
+  for (std::size_t ordinal = 0; ordinal < scan_inputs.size(); ++ordinal) {
+    const NetId net = scan_inputs[ordinal];
+    if (ff < scan_.pseudo_inputs.size() && scan_.pseudo_inputs[ff] == net) {
+      q_to_dff_[net] = static_cast<std::uint32_t>(ff);
+      ff_ordinal_.push_back(static_cast<std::uint32_t>(ordinal));
+      ++ff;
+    } else {
+      pi_ordinal_.push_back(static_cast<std::uint32_t>(ordinal));
+    }
+  }
+  DETERRENT_ASSERT(pi_ordinal_.size() == netlist.inputs().size() &&
+                       ff_ordinal_.size() == scan_.pseudo_inputs.size(),
+                   "SequentialEngine: scan input mapping mismatch");
+
+  state_.resize(scan_.pseudo_inputs.size() * words_);
+  reset(false);
+}
+
+void SequentialEngine::reset(bool value) {
+  std::fill(state_.begin(), state_.end(), value ? ~0ULL : 0ULL);
+  primed_ = false;  // the next step() evaluates from scratch
+  cycles_ = 0;
+  gate_evals_ = 0;
+}
+
+std::size_t SequentialEngine::dff_index(NetId q) const {
+  DETERRENT_ASSERT(q < q_to_dff_.size() && q_to_dff_[q] != kNotDff,
+                   "SequentialEngine: net is not a DFF output");
+  return q_to_dff_[q];
+}
+
+void SequentialEngine::set_state(NetId q, std::size_t trace, bool value) {
+  DETERRENT_ASSERT(trace < traces_, "SequentialEngine::set_state: trace out of range");
+  std::uint64_t& word = state_[dff_index(q) * words_ + (trace >> 6)];
+  const std::uint64_t bit = 1ULL << (trace & 63);
+  word = value ? (word | bit) : (word & ~bit);
+}
+
+bool SequentialEngine::state(NetId q, std::size_t trace) const {
+  DETERRENT_ASSERT(trace < traces_, "SequentialEngine::state: trace out of range");
+  return (state_[dff_index(q) * words_ + (trace >> 6)] >> (trace & 63)) & 1ULL;
+}
+
+std::span<const std::uint64_t> SequentialEngine::state_words(NetId q) const {
+  return {state_.data() + dff_index(q) * words_, words_};
+}
+
+void SequentialEngine::set_state_words(NetId q, std::span<const std::uint64_t> words) {
+  DETERRENT_ASSERT(words.size() == words_,
+                   "SequentialEngine::set_state_words: word count mismatch");
+  std::copy(words.begin(), words.end(), state_.data() + dff_index(q) * words_);
+}
+
+void SequentialEngine::step(std::span<const std::uint64_t> input_words) {
+  const auto pis = netlist_->inputs();
+  DETERRENT_ASSERT(input_words.size() == pis.size() * words_,
+                   "SequentialEngine::step: input word count mismatch "
+                   "(primary inputs of the original design × words())");
+  const auto scan_inputs = scan_.comb.inputs();
+
+  if (!primed_) {
+    // First cycle after construction/reset: stage the combined (PI ∪ Q)
+    // assignment in scan-input order and run one full sweep.
+    combined_scratch_.resize(scan_inputs.size() * words_);
+    for (std::size_t i = 0; i < pis.size(); ++i)
+      std::copy_n(input_words.data() + i * words_, words_,
+                  combined_scratch_.data() + std::size_t{pi_ordinal_[i]} * words_);
+    for (std::size_t k = 0; k < ff_ordinal_.size(); ++k)
+      std::copy_n(state_.data() + k * words_, words_,
+                  combined_scratch_.data() + std::size_t{ff_ordinal_[k]} * words_);
+    engine_.evaluate(buf_, combined_scratch_, words_);
+    gate_evals_ += scan_.comb.gate_count();
+    primed_ = true;
+  } else {
+    // Dirty set = (changed PIs) ∪ (changed Q words). Pre-filtering against
+    // the buffer matters: resimulate's dense-fallback heuristic counts
+    // *submitted* entries, so handing it every input each cycle would force
+    // a full sweep even for a perfectly steady cycle.
+    dirty_scratch_.clear();
+    dirty_words_scratch_.clear();
+    const auto push_if_changed = [&](std::uint32_t ordinal, const std::uint64_t* words) {
+      const auto current = buf_.net(scan_inputs[ordinal]);
+      if (std::equal(words, words + words_, current.begin())) return;
+      dirty_scratch_.push_back(ordinal);
+      dirty_words_scratch_.insert(dirty_words_scratch_.end(), words, words + words_);
+    };
+    for (std::size_t i = 0; i < pis.size(); ++i)
+      push_if_changed(pi_ordinal_[i], input_words.data() + i * words_);
+    for (std::size_t k = 0; k < ff_ordinal_.size(); ++k)
+      push_if_changed(ff_ordinal_[k], state_.data() + k * words_);
+    gate_evals_ +=
+        engine_.resimulate(buf_, dirty_scratch_, dirty_words_scratch_, words_);
+  }
+
+  // Clock edge: snapshot every D row as the pending Q state. The snapshot
+  // (rather than aliasing the buffer) preserves the register delay when a D
+  // net is itself another flip-flop's Q net.
+  for (std::size_t k = 0; k < ff_ordinal_.size(); ++k) {
+    const auto d = buf_.net(scan_.pseudo_outputs[k]);
+    std::copy(d.begin(), d.end(), state_.data() + k * words_);
+  }
+  ++cycles_;
+}
+
+void SequentialEngine::step_broadcast(const Pattern& inputs) {
+  const auto pis = netlist_->inputs();
+  DETERRENT_ASSERT(inputs.size() == pis.size(),
+                   "SequentialEngine::step_broadcast: input arity mismatch");
+  broadcast_scratch_.resize(pis.size() * words_);
+  for (std::size_t i = 0; i < pis.size(); ++i)
+    std::fill_n(broadcast_scratch_.data() + i * words_, words_,
+                inputs.test(i) ? ~0ULL : 0ULL);
+  step({broadcast_scratch_.data(), pis.size() * words_});
+}
+
+bool SequentialEngine::value(NetId net, std::size_t trace) const {
+  DETERRENT_ASSERT(trace < traces_, "SequentialEngine::value: trace out of range");
+  DETERRENT_ASSERT(cycles_ > 0, "SequentialEngine::value: no cycle stepped yet");
+  return (buf_.word(net, trace >> 6) >> (trace & 63)) & 1ULL;
+}
+
+std::span<const std::uint64_t> SequentialEngine::value_words(NetId net) const {
+  DETERRENT_ASSERT(cycles_ > 0, "SequentialEngine::value_words: no cycle stepped yet");
+  return buf_.net(net);
+}
+
+}  // namespace deterrent::sim

@@ -13,9 +13,9 @@ namespace deterrent::sim {
 /// Single-word convenience facade over sim::Engine: evaluates 64 patterns per
 /// pass in one machine word per net. Kept for call sites that genuinely work
 /// one block (or one pattern) at a time — greedy mutation loops, SAT model
-/// cross-checks, the sequential simulator. Batch consumers (probability
-/// estimation, signatures, coverage) use the Engine directly with multi-word
-/// sweeps.
+/// cross-checks. Batch consumers (probability estimation, signatures,
+/// coverage) use the Engine directly with multi-word sweeps; cycle-accurate
+/// stepping goes through sim::SequentialEngine.
 ///
 /// The netlist must be combinational (apply netlist::make_full_scan to
 /// sequential designs first — the standard full-scan assumption of §4.1).

@@ -1,26 +1,113 @@
 #include "trojan/side_channel.hpp"
 
+#include <bit>
 #include <cmath>
 
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
+#include "sim/sequential_engine.hpp"
 #include "util/assert.hpp"
 
 namespace deterrent::trojan {
 
+namespace {
+
+/// One pass over the pattern set computing per-transition toggle counts and
+/// (optionally) per-pattern trigger activation, combinational designs:
+/// batch engine sweeps, 64×W patterns per pass, with the toggle counts
+/// recovered bit-parallel — adjacent pattern lanes are adjacent bits, so a
+/// net's toggle mask for a whole block is one shift/XOR.
+void activity_combinational(const netlist::Netlist& netlist,
+                            const sim::PatternSet& patterns,
+                            std::span<const analysis::RareNet> trigger,
+                            std::vector<std::size_t>& toggles,
+                            std::vector<bool>* fired) {
+  const sim::Engine engine(netlist);
+  toggles.assign(patterns.pattern_count(), 0);
+  if (fired != nullptr) fired->assign(patterns.pattern_count(), false);
+  // Previous pattern's value per net (bit 0), seeding each block's lane-0
+  // transition; starts at the all-zero state, as documented.
+  std::vector<std::uint8_t> prev(netlist.net_count(), 0);
+  engine.sweep(patterns, [&](std::size_t first_block, std::size_t n_words,
+                             const sim::EvalBuffer& buf) {
+    for (std::size_t w = 0; w < n_words; ++w) {
+      const std::size_t block = first_block + w;
+      const std::uint64_t valid = patterns.valid_mask(block);
+      const std::size_t base = block * 64;
+      for (netlist::NetId net = 0; net < netlist.net_count(); ++net) {
+        const std::uint64_t x = buf.word(net, w);
+        // Bit p of the mask: did `net` change between patterns p-1 and p?
+        // (bit 0 compares against the previous block's last pattern).
+        std::uint64_t mask = (x ^ ((x << 1) | prev[net])) & valid;
+        prev[net] = static_cast<std::uint8_t>(x >> 63);
+        while (mask != 0) {
+          const int lane = std::countr_zero(mask);
+          mask &= mask - 1;
+          ++toggles[base + static_cast<std::size_t>(lane)];
+        }
+      }
+      if (fired != nullptr) {
+        std::uint64_t f = valid;
+        for (const auto& rn : trigger) {
+          const std::uint64_t v = buf.word(rn.net, w);
+          f &= rn.rare_value ? v : ~v;
+        }
+        while (f != 0) {
+          const int lane = std::countr_zero(f);
+          f &= f - 1;
+          (*fired)[base + static_cast<std::size_t>(lane)] = true;
+        }
+      }
+    }
+  });
+}
+
+/// Sequential designs: the pattern set is a per-cycle stimulus sequence.
+/// Each cycle steps through sim::SequentialEngine, so a steady cycle costs
+/// only the fanout cones of the inputs/state bits that changed; toggles span
+/// every net including the flip-flop state. State starts all-zero.
+void activity_sequential(const netlist::Netlist& netlist,
+                         const sim::PatternSet& patterns,
+                         std::span<const analysis::RareNet> trigger,
+                         std::vector<std::size_t>& toggles,
+                         std::vector<bool>* fired) {
+  sim::SequentialEngine seq(netlist, /*n_traces=*/1);
+  toggles.assign(patterns.pattern_count(), 0);
+  if (fired != nullptr) fired->assign(patterns.pattern_count(), false);
+  std::vector<std::uint8_t> prev(netlist.net_count(), 0);
+  for (std::size_t p = 0; p < patterns.pattern_count(); ++p) {
+    seq.step_broadcast(patterns.pattern(p));
+    std::size_t count = 0;
+    for (netlist::NetId net = 0; net < netlist.net_count(); ++net) {
+      const auto cur = static_cast<std::uint8_t>(seq.values().word(net, 0) & 1ULL);
+      count += cur != prev[net];
+      prev[net] = cur;
+    }
+    toggles[p] = count;
+    if (fired != nullptr) {
+      bool f = true;
+      for (const auto& rn : trigger) f = f && seq.value(rn.net, 0) == rn.rare_value;
+      (*fired)[p] = f;
+    }
+  }
+}
+
+void activity(const netlist::Netlist& netlist, const sim::PatternSet& patterns,
+              std::span<const analysis::RareNet> trigger,
+              std::vector<std::size_t>& toggles, std::vector<bool>* fired) {
+  DETERRENT_ASSERT(patterns.input_count() == netlist.inputs().size(),
+                   "switching activity: pattern arity mismatch");
+  if (netlist.is_sequential())
+    activity_sequential(netlist, patterns, trigger, toggles, fired);
+  else
+    activity_combinational(netlist, patterns, trigger, toggles, fired);
+}
+
+}  // namespace
+
 std::vector<std::size_t> switching_activity(const netlist::Netlist& netlist,
                                             const sim::PatternSet& patterns) {
-  sim::Simulator simulator(netlist);
   std::vector<std::size_t> toggles;
-  toggles.reserve(patterns.pattern_count());
-  std::vector<bool> previous(netlist.net_count(), false);
-  for (std::size_t p = 0; p < patterns.pattern_count(); ++p) {
-    const auto values = simulator.simulate_pattern(patterns.pattern(p));
-    std::size_t count = 0;
-    for (std::size_t net = 0; net < values.size(); ++net)
-      count += values[net] != previous[net];
-    toggles.push_back(count);
-    previous = values;
-  }
+  activity(netlist, patterns, {}, toggles, nullptr);
   return toggles;
 }
 
@@ -30,22 +117,13 @@ SideChannelReport side_channel_report(const netlist::Netlist& golden,
   DETERRENT_ASSERT(patterns.pattern_count() > 0, "side_channel_report needs patterns");
   const netlist::Netlist infected = apply_trojan(golden, trojan);
 
-  const auto golden_toggles = switching_activity(golden, patterns);
-  const auto infected_toggles = switching_activity(infected, patterns);
-
   // Trigger activation is evaluated on the golden design — trigger nets keep
-  // their ids across apply_trojan.
-  sim::Simulator gsim(golden);
-
-  // Trigger state per pattern (transition p goes from pattern p-1 to p; the
-  // initial state is all-zero and counted as not fired unless it is).
-  std::vector<bool> fired(patterns.pattern_count());
-  for (std::size_t p = 0; p < patterns.pattern_count(); ++p) {
-    const auto values = gsim.simulate_pattern(patterns.pattern(p));
-    bool f = true;
-    for (const auto& rn : trojan.trigger) f = f && values[rn.net] == rn.rare_value;
-    fired[p] = f;
-  }
+  // their ids across apply_trojan — in the same pass as the golden toggle
+  // counts (one engine compilation and one sweep instead of two).
+  std::vector<std::size_t> golden_toggles;
+  std::vector<bool> fired;
+  activity(golden, patterns, trojan.trigger, golden_toggles, &fired);
+  const auto infected_toggles = switching_activity(infected, patterns);
 
   SideChannelReport report;
   double triggered_sum = 0.0;

@@ -32,11 +32,20 @@ struct SideChannelReport {
 
 /// Per-pattern toggle counts for one design (transitions between consecutive
 /// patterns in the set; entry 0 counts toggles from the all-zero state).
+///
+/// Combinational designs run as batch sim::Engine sweeps (64×W patterns per
+/// pass, toggle masks recovered bit-parallel from adjacent lanes).
+/// Sequential designs are supported too: the pattern set is treated as a
+/// per-cycle stimulus sequence executed through sim::SequentialEngine from
+/// the all-zero state, and the counts include flip-flop state toggles — the
+/// trace a real power side channel would integrate over a workload run.
 std::vector<std::size_t> switching_activity(const netlist::Netlist& netlist,
                                             const sim::PatternSet& patterns);
 
 /// Compares golden vs apply_trojan(golden, trojan) under the pattern set and
-/// splits the toggle delta by trigger activation.
+/// splits the toggle delta by trigger activation. Trigger checks ride the
+/// same engine pass as the golden toggle counts (per-pattern on
+/// combinational designs, per-cycle on sequential ones).
 SideChannelReport side_channel_report(const netlist::Netlist& golden,
                                       const Trojan& trojan,
                                       const sim::PatternSet& patterns);

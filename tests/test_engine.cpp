@@ -386,6 +386,89 @@ TEST(Engine, ResimulateSingleBitTouchesSubsetOfProgram) {
   EXPECT_LT(total, 32 * nl.gate_count());
 }
 
+/// Pins the exact dense-fallback crossover of Engine::resimulate: with
+/// `dirty * 4 >= inputs` the call abandons the event-driven worklist for a
+/// full program sweep. The two code paths are told apart through the
+/// gate-evaluation count — each input here drives one private NOT (cone size
+/// 1) while a constant-fed buffer chain pads the program, so the worklist
+/// path returns the dirty count and the dense path returns the program size.
+/// Values must be identical to a from-scratch evaluate on both sides.
+class EngineDenseFallbackBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineDenseFallbackBoundary, ThresholdCrossoverIsExactAndBitIdentical) {
+  const std::size_t n_inputs = GetParam();
+  NetlistBuilder b;
+  std::vector<NetId> ins;
+  for (std::size_t i = 0; i < n_inputs; ++i) ins.push_back(b.add_input());
+  for (const NetId in : ins) b.mark_output(b.add_gate(GateType::Not, {in}));
+  // Padding outside every input cone: the program must be strictly larger
+  // than any dirty set so the two return values cannot collide.
+  NetId pad = b.add_const(false);
+  for (int k = 0; k < 8; ++k) pad = b.add_gate(GateType::Buf, {pad});
+  b.mark_output(pad);
+  const Netlist nl = b.build();
+  const Engine engine(nl);
+
+  // Integer form of "dirty/inputs >= 1/4": smallest dirty count with
+  // dirty * 4 >= n_inputs.
+  const std::size_t threshold = (n_inputs + 3) / 4;
+  ASSERT_GE(threshold, 2u) << "need threshold-1 >= 1 dirty input";
+
+  util::Rng rng(n_inputs * 37 + 1);
+  auto inputs = random_input_words(n_inputs, 1, rng);
+  EvalBuffer inc, full;
+  engine.evaluate(inc, inputs, 1);
+
+  for (const std::size_t n_dirty : {threshold - 1, threshold, threshold + 1}) {
+    ASSERT_LE(n_dirty, n_inputs);
+    std::vector<std::uint32_t> dirty;
+    std::vector<std::uint64_t> dirty_words;
+    for (std::size_t j = 0; j < n_dirty; ++j) {
+      dirty.push_back(static_cast<std::uint32_t>(j));
+      dirty_words.push_back(~inputs[j]);
+      inputs[j] = ~inputs[j];
+    }
+    const std::size_t evaluated = engine.resimulate(inc, dirty, dirty_words, 1);
+    if (n_dirty < threshold) {
+      // Worklist path: exactly the flipped inputs' private cones.
+      EXPECT_EQ(evaluated, n_dirty) << "expected the event-driven path";
+    } else {
+      // Dense fallback: one full sweep, program size evaluations.
+      EXPECT_EQ(evaluated, nl.gate_count()) << "expected the dense fallback";
+    }
+    engine.evaluate(full, inputs, 1);
+    ASSERT_EQ(std::vector<std::uint64_t>(inc.flat().begin(), inc.flat().end()),
+              std::vector<std::uint64_t>(full.flat().begin(), full.flat().end()))
+        << n_inputs << " inputs, " << n_dirty << " dirty";
+  }
+}
+
+/// 16 divides evenly (threshold 4 == 16/4); 17 and 18 exercise the rounding
+/// of the integer comparison (threshold 5); 8 is the smallest interesting
+/// program.
+INSTANTIATE_TEST_SUITE_P(InputCounts, EngineDenseFallbackBoundary,
+                         ::testing::Values(std::size_t{8}, std::size_t{16},
+                                           std::size_t{17}, std::size_t{18}));
+
+TEST(Engine, DenseFallbackCountsSubmittedEntriesNotActualChanges) {
+  // The fallback heuristic triggers on the *submitted* dirty-entry count,
+  // before no-change filtering: submitting every input with unchanged words
+  // takes the dense path (program-size evaluations) yet stays bit-identical.
+  const Netlist nl = random_circuit(8, 120, 12);
+  const Engine engine(nl);
+  util::Rng rng(77);
+  const auto inputs = random_input_words(nl.inputs().size(), 1, rng);
+  EvalBuffer buf, reference;
+  engine.evaluate(buf, inputs, 1);
+  engine.evaluate(reference, inputs, 1);
+  std::vector<std::uint32_t> dirty(nl.inputs().size());
+  for (std::uint32_t i = 0; i < dirty.size(); ++i) dirty[i] = i;
+  EXPECT_EQ(engine.resimulate(buf, dirty, inputs, 1), nl.gate_count());
+  ASSERT_EQ(std::vector<std::uint64_t>(buf.flat().begin(), buf.flat().end()),
+            std::vector<std::uint64_t>(reference.flat().begin(),
+                                       reference.flat().end()));
+}
+
 TEST(EngineDeath, ResimulateRequiresPrimedBuffer) {
   ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
   const Netlist nl = random_circuit(5);
