@@ -26,7 +26,15 @@
 //   --budget-seconds <s>   per-stage wall-clock budget  (default unlimited)
 //   --sat-budget <n>       training SAT-query budget    (default unlimited)
 //   --threads <n>          campaign circuit workers     (default hardware)
+//   --retries <n>          campaign per-circuit retries (default 2)
+//   --retry-backoff-ms <m> first retry backoff, doubles (default 50)
+//   --stage-timeout <s>    per-stage watchdog seconds   (default none)
 //   --quiet                suppress stage progress on stderr
+//
+// Campaign exit codes: 0 all circuits clean, 4 degraded (some circuits
+// recovered/retried or quarantined but at least one completed), 5 every
+// circuit permanently failed, 3 interrupted-but-resumable (cancel/budget),
+// 2 usage error, 1 unexpected exception. See docs/robustness.md.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -66,6 +74,9 @@ struct Args {
   double budget_seconds() const { return flag_double("--budget-seconds", 0.0); }
   std::uint64_t sat_budget() const { return flag_size("--sat-budget", 0); }
   std::size_t threads() const { return flag_size("--threads", 0); }
+  std::size_t retries() const { return flag_size("--retries", 2); }
+  double retry_backoff_ms() const { return flag_double("--retry-backoff-ms", 50.0); }
+  double stage_timeout() const { return flag_double("--stage-timeout", 0.0); }
   bool quiet() const { return flags.count("--quiet") != 0; }
   bool has(const char* name) const { return flags.count(name) != 0; }
 
@@ -125,6 +136,7 @@ core::StageControl stage_control(const Args& args) {
   core::StageControl control;
   control.wall_budget_seconds = args.budget_seconds();
   control.sat_query_budget = args.sat_budget();
+  control.stage_timeout_seconds = args.stage_timeout();
   if (!args.quiet()) {
     control.on_progress = [](const core::StageProgress& p) {
       std::fprintf(stderr, "[%s] %zu/%zu %s (%.1fs)\n", core::to_string(p.stage),
@@ -144,6 +156,10 @@ int report_status(core::StageStatus status, const core::Session& session) {
       return 3;
     case core::StageStatus::BudgetExhausted:
       std::printf("budget exhausted; progress saved in %s — rerun `resume` to continue\n",
+                  session.dir().c_str());
+      return 3;
+    case core::StageStatus::TimedOut:
+      std::printf("stage watchdog timed out; last checkpoint kept in %s — rerun `resume`\n",
                   session.dir().c_str());
       return 3;
   }
@@ -384,6 +400,9 @@ int cmd_campaign(const Args& args) {
   cfg.base.ppo.n_workers = 1;
   cfg.threads = args.threads();
   cfg.session_root = args.session();
+  cfg.max_retries = args.retries();
+  cfg.retry_backoff_ms = args.retry_backoff_ms();
+  cfg.stage_timeout_seconds = args.stage_timeout();
 
   core::Campaign campaign(cfg);
   for (std::size_t i = 0; i < benches.size(); ++i)
@@ -410,7 +429,20 @@ int cmd_campaign(const Args& args) {
 
   const auto report = campaign.run(stage_control(args));
   std::printf("%s", report.to_table().c_str());
-  return report.completed == report.circuits.size() ? 0 : 3;
+
+  // Distinct exit codes so wrappers can tell outcomes apart: 5 = nothing
+  // succeeded and no retry will help; 4 = degraded success (quarantined
+  // circuits, or survivors that needed retries/artifact recovery); 3 =
+  // interrupted (cancel/budget) but resumable via the session root.
+  if (report.quarantined == report.circuits.size()) return 5;
+  bool resumable_stop = false;
+  bool degraded = report.quarantined > 0;
+  for (const auto& row : report.circuits) {
+    if (row.ok && (row.attempts > 1 || !row.recovered.empty())) degraded = true;
+    if (row.ok && row.status != core::StageStatus::Complete) resumable_stop = true;
+  }
+  if (report.completed == report.circuits.size()) return degraded ? 4 : 0;
+  return resumable_stop && !degraded ? 3 : 4;
 }
 
 void usage() {

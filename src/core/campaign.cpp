@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <mutex>
+#include <thread>
 
 #include "sim/sequential_engine.hpp"
 #include "util/table.hpp"
@@ -79,62 +81,122 @@ void Campaign::add(std::string name, const netlist::Netlist& netlist,
   circuits_.back().workload = &workload;
 }
 
+void Campaign::run_circuit_attempt(std::size_t index, const StageControl& control,
+                                   std::size_t attempt, CampaignCircuitReport& row) {
+  const CampaignCircuit& circuit = circuits_[index];
+  DeterrentConfig config = config_.base;
+  config.seed = derive_seed(config_.base.seed, index);
+  if (config_.reseed_on_retry && attempt > 0)
+    config.seed = util::Rng::mix64(config.seed ^ (attempt * 0xbf58476d1ce4e5b9ULL));
+  row.seed = config.seed;
+
+  std::unique_ptr<Session> session;
+  std::unique_ptr<Pipeline> pipeline;
+  if (!config_.session_root.empty()) {
+    session = std::make_unique<Session>(
+        (std::filesystem::path(config_.session_root) / circuit.name).string(),
+        *circuit.netlist);
+    // An existing session's stored config wins over the index-derived one:
+    // re-running the campaign with a reordered circuit list (or changed
+    // flags) must resume each circuit under the config its artifacts were
+    // actually built with. A missing or corrupt meta falls back to `config`,
+    // and any corrupt stage artifact is quarantined so the stage reruns.
+    pipeline = session->resume_or_init(config);
+    row.seed = pipeline->config().seed;
+    for (const auto& file : session->quarantined()) row.recovered.push_back(file);
+  } else {
+    pipeline = std::make_unique<Pipeline>(*circuit.netlist, config);
+  }
+
+  // A session already complete on disk adopted everything and ran nothing,
+  // so skip re-serializing its (byte-identical) policy/pattern artifacts.
+  const bool already_done = session && session->next_stage() == Stage::Done;
+  row.status = pipeline->run_remaining(control);
+  if (session && !already_done) session->save(*pipeline);
+
+  if (pipeline->rare_nets_done()) row.rare_nets = pipeline->rare_nets().size();
+  if (pipeline->compatibility_done())
+    row.compatible_pairs = pipeline->matrix().edge_count();
+  row.pool_size = pipeline->pool().size();
+  row.max_set_size = pipeline->pool().max_set_size();
+  row.sat_queries = pipeline->train_sat_queries();
+  if (pipeline->extract_done()) {
+    row.patterns = pipeline->patterns().pattern_count();
+    if (evaluator_ && row.status == StageStatus::Complete)
+      row.coverage_percent = evaluator_(circuit, *pipeline, pipeline->patterns());
+  }
+  if (config_.workload_cycles > 0 && circuit.workload != nullptr &&
+      row.status == StageStatus::Complete)
+    run_workload(*circuit.workload, config_.workload_cycles,
+                 std::max<std::size_t>(1, config_.workload_traces), row.seed, row);
+}
+
 CampaignCircuitReport Campaign::run_circuit(std::size_t index,
                                             const StageControl& control) {
-  const CampaignCircuit& circuit = circuits_[index];
   CampaignCircuitReport row;
-  row.name = circuit.name;
+  row.name = circuits_[index].name;
   util::Stopwatch watch;
-  try {
-    DeterrentConfig config = config_.base;
-    config.seed = derive_seed(config_.base.seed, index);
-    row.seed = config.seed;
 
-    std::unique_ptr<Session> session;
-    std::unique_ptr<Pipeline> pipeline;
-    if (!config_.session_root.empty()) {
-      session = std::make_unique<Session>(
-          (std::filesystem::path(config_.session_root) / circuit.name).string(),
-          *circuit.netlist);
-      if (session->has_meta()) {
-        // An existing session's stored config wins over the index-derived
-        // one: re-running the campaign with a reordered circuit list (or
-        // changed flags) must resume each circuit under the config its
-        // artifacts were actually built with.
-        pipeline = session->resume();
-        row.seed = pipeline->config().seed;
+  const std::size_t max_attempts = config_.max_retries + 1;
+  const auto backoff = [this](std::size_t attempt) {
+    const double ms = config_.retry_backoff_ms * static_cast<double>(1ULL << attempt);
+    if (ms > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+  };
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    row.attempts = attempt + 1;
+    row.error.clear();
+    try {
+      run_circuit_attempt(index, control, attempt, row);
+      if (row.status == StageStatus::TimedOut) {
+        // The watchdog abandoned a hung stage. Worth retrying: a
+        // session-backed circuit resumes from its last good artifact, so the
+        // retry only repeats the stage that hung.
+        row.ok = false;
+        row.error = "stage watchdog timeout";
+        if (attempt + 1 < max_attempts) {
+          backoff(attempt);
+          continue;
+        }
+        row.quarantined = true;
       } else {
-        pipeline = session->resume_with(config);
+        row.ok = true;
       }
-    } else {
-      pipeline = std::make_unique<Pipeline>(*circuit.netlist, config);
+      break;
+    } catch (const PermanentError& e) {
+      // Retrying the identical call cannot succeed (bad config, broken
+      // artifact chain the session could not heal); fail fast.
+      row.error = e.what();
+      row.quarantined = true;
+      break;
+    } catch (const TransientError& e) {
+      row.error = e.what();
+      if (attempt + 1 >= max_attempts) {
+        row.quarantined = true;  // repeat offender
+        break;
+      }
+      backoff(attempt);
+    } catch (const CorruptArtifactError& e) {
+      // The session quarantined the file (or will on the next resume);
+      // retrying regenerates the stage from the last good artifact.
+      row.error = e.what();
+      if (attempt + 1 >= max_attempts) {
+        row.quarantined = true;
+        break;
+      }
+      backoff(attempt);
+    } catch (const std::exception& e) {
+      // Outside the deterrent taxonomy — no evidence a retry would differ.
+      row.error = e.what();
+      row.quarantined = true;
+      break;
+    } catch (...) {
+      // Satellite fix: a non-std exception used to escape run_circuit and
+      // take down the whole campaign worker.
+      row.error = "non-std exception escaped circuit run";
+      row.quarantined = true;
+      break;
     }
-
-    // A session already complete on disk adopted everything and ran nothing,
-    // so skip re-serializing its (byte-identical) policy/pattern artifacts.
-    const bool already_done = session && session->next_stage() == Stage::Done;
-    row.status = pipeline->run_remaining(control);
-    if (session && !already_done) session->save(*pipeline);
-
-    if (pipeline->rare_nets_done()) row.rare_nets = pipeline->rare_nets().size();
-    if (pipeline->compatibility_done())
-      row.compatible_pairs = pipeline->matrix().edge_count();
-    row.pool_size = pipeline->pool().size();
-    row.max_set_size = pipeline->pool().max_set_size();
-    row.sat_queries = pipeline->train_sat_queries();
-    if (pipeline->extract_done()) {
-      row.patterns = pipeline->patterns().pattern_count();
-      if (evaluator_ && row.status == StageStatus::Complete)
-        row.coverage_percent = evaluator_(circuit, *pipeline, pipeline->patterns());
-    }
-    if (config_.workload_cycles > 0 && circuit.workload != nullptr &&
-        row.status == StageStatus::Complete)
-      run_workload(*circuit.workload, config_.workload_cycles,
-                   std::max<std::size_t>(1, config_.workload_traces), row.seed, row);
-    row.ok = true;
-  } catch (const std::exception& e) {
-    row.ok = false;
-    row.error = e.what();
   }
   row.seconds = watch.elapsed_seconds();
   return row;
@@ -155,6 +217,9 @@ CampaignReport Campaign::run(const StageControl& control) {
     StageControl c;
     c.wall_budget_seconds = control.wall_budget_seconds;
     c.sat_query_budget = control.sat_query_budget;
+    c.stage_timeout_seconds = control.stage_timeout_seconds > 0.0
+                                  ? control.stage_timeout_seconds
+                                  : config_.stage_timeout_seconds;
     c.on_progress = [this, &control, &progress_mutex, &cancelled,
                      index](const StageProgress& p) -> bool {
       if (cancelled.load(std::memory_order_relaxed)) return false;
@@ -190,6 +255,7 @@ CampaignReport Campaign::run(const StageControl& control) {
   double coverage_sum = 0.0;
   for (const auto& row : report.circuits) {
     if (row.ok && row.status == StageStatus::Complete) ++report.completed;
+    if (row.quarantined) ++report.quarantined;
     report.total_patterns += row.patterns;
     report.total_sat_queries += row.sat_queries;
     if (row.coverage_percent >= 0.0) {
@@ -206,10 +272,11 @@ std::string CampaignReport::to_table() const {
   util::Table table({"Circuit", "Status", "Rare", "Pairs", "Pool", "Max set", "Patterns",
                      "SAT", "Cov. (%)", "Seconds"});
   for (const auto& row : circuits) {
-    std::string status = !row.ok                                   ? "error"
-                         : row.status == StageStatus::Complete     ? "ok"
-                         : row.status == StageStatus::Cancelled    ? "cancelled"
-                                                                   : "budget";
+    std::string status = row.quarantined                       ? "quarantined"
+                         : !row.ok                             ? "error"
+                         : row.status == StageStatus::Complete ? "ok"
+                                                               : to_string(row.status);
+    if (row.attempts > 1) status += " (x" + std::to_string(row.attempts) + ")";
     table.add_row({row.name, status, std::to_string(row.rare_nets),
                    std::to_string(row.compatible_pairs), std::to_string(row.pool_size),
                    std::to_string(row.max_set_size), std::to_string(row.patterns),
@@ -224,8 +291,11 @@ std::string CampaignReport::to_table() const {
                  mean_coverage >= 0.0 ? util::Table::num(mean_coverage, 1) : "-",
                  util::Table::num(total_seconds, 2)});
   std::string out = table.to_string();
-  for (const auto& row : circuits)
+  for (const auto& row : circuits) {
     if (!row.ok) out += row.name + ": " + row.error + "\n";
+    for (const auto& file : row.recovered)
+      out += row.name + ": quarantined corrupt " + file + " and regenerated\n";
+  }
   return out;
 }
 

@@ -42,6 +42,26 @@ struct CampaignConfig {
   /// lock-step per sim::SequentialEngine call. 0 disables the stage.
   std::size_t workload_cycles = 0;
   std::size_t workload_traces = 64;
+  /// Robustness knobs (see docs/robustness.md). A circuit attempt that fails
+  /// with a TransientError / CorruptArtifactError, or whose stage watchdog
+  /// times out, is retried up to `max_retries` more times with exponential
+  /// backoff (`retry_backoff_ms * 2^attempt`). Session-backed circuits
+  /// resume each retry from their last good artifact, so work is never
+  /// repeated and corrupt files (quarantined by the Session) are
+  /// regenerated. PermanentError — and any exception outside the deterrent
+  /// taxonomy — skips the retries and quarantines the circuit immediately.
+  std::size_t max_retries = 2;
+  double retry_backoff_ms = 50.0;
+  /// Per-stage watchdog deadline handed to every stage call (see
+  /// StageControl::stage_timeout_seconds); a control passed to run() with
+  /// its own non-zero value wins. 0 = no watchdog.
+  double stage_timeout_seconds = 0.0;
+  /// Mix the attempt number into the circuit seed on each retry. Off by
+  /// default: deterministic reruns must reproduce the original artifacts
+  /// bit-identically, and session-backed circuits keep their stored config's
+  /// seed regardless. Turn on for seed-sensitive failures in ephemeral
+  /// (session-less) campaigns.
+  bool reseed_on_retry = false;
 };
 
 /// Per-circuit outcome row of a campaign run.
@@ -67,12 +87,20 @@ struct CampaignCircuitReport {
   double workload_trace_cycles_per_sec = 0.0;
   double workload_gate_evals_per_cycle = -1.0;
   double seconds = 0.0;
+  std::size_t attempts = 1;  ///< 1 + retries actually consumed
+  /// Permanently failed: a PermanentError / foreign exception, or retries
+  /// exhausted. No further attempt will be made; the row's error says why.
+  bool quarantined = false;
+  /// Artifact files the Session renamed to `<name>.corrupt` and regenerated
+  /// during this circuit's attempts (session-relative names).
+  std::vector<std::string> recovered;
 };
 
 /// Aggregated result of Campaign::run.
 struct CampaignReport {
   std::vector<CampaignCircuitReport> circuits;  ///< enrollment order
   std::size_t completed = 0;                    ///< ok && Complete
+  std::size_t quarantined = 0;                  ///< permanently failed circuits
   std::size_t total_patterns = 0;
   std::uint64_t total_sat_queries = 0;
   double total_seconds = 0.0;     ///< wall clock of the whole run
@@ -127,6 +155,11 @@ class Campaign {
 
  private:
   CampaignCircuitReport run_circuit(std::size_t index, const StageControl& control);
+  /// One attempt of one circuit: resume-or-init the session, run the
+  /// remaining stages, save, fill the report row. Throws on failure — the
+  /// retry loop in run_circuit classifies the exception.
+  void run_circuit_attempt(std::size_t index, const StageControl& control,
+                           std::size_t attempt, CampaignCircuitReport& row);
 
   CampaignConfig config_;
   std::vector<CampaignCircuit> circuits_;

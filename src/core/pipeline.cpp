@@ -5,8 +5,10 @@
 #include "netlist/stats.hpp"
 #include "sat/oracle.hpp"
 #include "util/assert.hpp"
+#include "util/faults.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
+#include "util/watchdog.hpp"
 
 namespace deterrent::core {
 
@@ -21,12 +23,22 @@ const char* to_string(Stage stage) {
   return "?";
 }
 
+const char* to_string(StageStatus status) {
+  switch (status) {
+    case StageStatus::Complete: return "complete";
+    case StageStatus::Cancelled: return "cancelled";
+    case StageStatus::BudgetExhausted: return "budget";
+    case StageStatus::TimedOut: return "timeout";
+  }
+  return "?";
+}
+
 Pipeline::Pipeline(const netlist::Netlist& netlist, const DeterrentConfig& config)
     : netlist_(&netlist),
       config_(config),
       fingerprint_(netlist::structural_fingerprint(netlist)) {
   if (netlist.is_sequential())
-    throw Error("Pipeline requires a combinational netlist (use make_full_scan)");
+    throw PermanentError("Pipeline requires a combinational netlist (use make_full_scan)");
 }
 
 Pipeline::~Pipeline() = default;
@@ -63,56 +75,69 @@ StageStatus Pipeline::checkpoint(const StageControl& control,
 
 StageStatus Pipeline::run_rare_nets(const StageControl& control) {
   if (rare_done_) return StageStatus::Complete;
+  util::WatchdogScope watchdog(control.stage_timeout_seconds);
+  try {
+    DETERRENT_FAULT_POINT("pipeline.stage_boundary");
+    util::Stopwatch watch;
+    if (const auto status = checkpoint(
+            control, {Stage::RareNets, 0, 1, "estimating signal probabilities", 0.0, 0});
+        status != StageStatus::Complete)
+      return status;
 
-  util::Stopwatch watch;
-  if (const auto status = checkpoint(
-          control, {Stage::RareNets, 0, 1, "estimating signal probabilities", 0.0, 0});
-      status != StageStatus::Complete)
-    return status;
+    util::Rng rng(config_.seed);
+    util::ThreadPool workers(config_.offline_threads);
+    rare_nets_ = analysis::find_rare_nets(*netlist_, config_.rare, rng, &workers);
+    if (rare_nets_.empty())
+      throw PermanentError("no rare nets below threshold " +
+                           std::to_string(config_.rare.threshold));
+    offline_rng_state_ = rng.state();
+    rare_done_ = true;
 
-  util::Rng rng(config_.seed);
-  util::ThreadPool workers(config_.offline_threads);
-  rare_nets_ = analysis::find_rare_nets(*netlist_, config_.rare, rng, &workers);
-  if (rare_nets_.empty())
-    throw Error("no rare nets below threshold " + std::to_string(config_.rare.threshold));
-  offline_rng_state_ = rng.state();
-  rare_done_ = true;
-
-  checkpoint(control, {Stage::RareNets, 1, 1,
-                       std::to_string(rare_nets_.size()) + " rare nets",
-                       watch.elapsed_seconds(), 0});
-  return StageStatus::Complete;
+    checkpoint(control, {Stage::RareNets, 1, 1,
+                         std::to_string(rare_nets_.size()) + " rare nets",
+                         watch.elapsed_seconds(), 0});
+    return StageStatus::Complete;
+  } catch (const TimeoutError&) {
+    // Members are only assigned after a full build, so a watchdog timeout
+    // leaves the stage cleanly not-run.
+    return StageStatus::TimedOut;
+  }
 }
 
 StageStatus Pipeline::run_compatibility(const StageControl& control) {
   if (!rare_done_)
-    throw Error("Pipeline: compatibility stage requires the rare-nets stage");
+    throw PermanentError("Pipeline: compatibility stage requires the rare-nets stage");
   if (matrix_.has_value()) return StageStatus::Complete;
+  util::WatchdogScope watchdog(control.stage_timeout_seconds);
+  try {
+    DETERRENT_FAULT_POINT("pipeline.stage_boundary");
+    util::Stopwatch watch;
+    if (const auto status = checkpoint(
+            control, {Stage::Compatibility, 0, 1,
+                      "building pairwise matrix over " +
+                          std::to_string(rare_nets_.size()) + " rare nets",
+                      0.0, 0});
+        status != StageStatus::Complete)
+      return status;
 
-  util::Stopwatch watch;
-  if (const auto status = checkpoint(
-          control, {Stage::Compatibility, 0, 1,
-                    "building pairwise matrix over " +
-                        std::to_string(rare_nets_.size()) + " rare nets",
-                    0.0, 0});
-      status != StageStatus::Complete)
-    return status;
+    util::Rng rng;
+    rng.set_state(offline_rng_state_);
+    util::ThreadPool workers(config_.offline_threads);
+    matrix_ = analysis::build_compatibility(*netlist_, rare_nets_, config_.compat, rng,
+                                            &workers, &compat_stats_,
+                                            &witness_signatures_);
+    util::Log::info("pipeline: prepared ", rare_nets_.size(), " rare nets, ",
+                    matrix_->edge_count(), " compatible pairs (",
+                    compat_stats_.sim_resolved, " sim, ", compat_stats_.sat_sat,
+                    " sat) in ", compat_stats_.build_seconds, "s");
 
-  util::Rng rng;
-  rng.set_state(offline_rng_state_);
-  util::ThreadPool workers(config_.offline_threads);
-  matrix_ = analysis::build_compatibility(*netlist_, rare_nets_, config_.compat, rng,
-                                          &workers, &compat_stats_,
-                                          &witness_signatures_);
-  util::Log::info("pipeline: prepared ", rare_nets_.size(), " rare nets, ",
-                  matrix_->edge_count(), " compatible pairs (",
-                  compat_stats_.sim_resolved, " sim, ", compat_stats_.sat_sat,
-                  " sat) in ", compat_stats_.build_seconds, "s");
-
-  checkpoint(control, {Stage::Compatibility, 1, 1,
-                       std::to_string(matrix_->edge_count()) + " compatible pairs",
-                       watch.elapsed_seconds(), 0});
-  return StageStatus::Complete;
+    checkpoint(control, {Stage::Compatibility, 1, 1,
+                         std::to_string(matrix_->edge_count()) + " compatible pairs",
+                         watch.elapsed_seconds(), 0});
+    return StageStatus::Complete;
+  } catch (const TimeoutError&) {
+    return StageStatus::TimedOut;
+  }
 }
 
 void Pipeline::ensure_trainer() {
@@ -143,32 +168,46 @@ std::uint64_t Pipeline::train_sat_queries() const {
 
 StageStatus Pipeline::run_train(std::size_t updates, const StageControl& control) {
   if (!matrix_.has_value())
-    throw Error("Pipeline: train stage requires the compatibility stage");
+    throw PermanentError("Pipeline: train stage requires the compatibility stage");
   if (updates == 0) updates = effective_updates();
   ensure_trainer();
 
+  util::WatchdogScope watchdog(control.stage_timeout_seconds);
   util::Stopwatch watch;
   StageStatus status = StageStatus::Complete;
   std::size_t done = 0;
-  for (; done < updates; ++done) {
-    status = checkpoint(control, {Stage::Train, done, updates,
-                                  "pool " + std::to_string(pool_.size()) + ", largest " +
-                                      std::to_string(pool_.max_set_size()),
-                                  watch.elapsed_seconds(), train_sat_queries()});
-    if (status != StageStatus::Complete) break;
+  try {
+    DETERRENT_FAULT_POINT("pipeline.stage_boundary");
+    for (; done < updates; ++done) {
+      status = checkpoint(control, {Stage::Train, done, updates,
+                                    "pool " + std::to_string(pool_.size()) + ", largest " +
+                                        std::to_string(pool_.max_set_size()),
+                                    watch.elapsed_seconds(), train_sat_queries()});
+      if (status != StageStatus::Complete) break;
 
-    TrainingSnapshot snap;
-    snap.ppo = trainer_->update();
-    snap.pool_size = pool_.size();
-    snap.max_set_size = pool_.max_set_size();
-    snap.cumulative_steps = trainer_->total_steps();
-    snap.cumulative_episodes = trainer_->total_episodes();
-    snap.sat_queries = train_sat_queries();
-    snap.elapsed_seconds = train_seconds_ + watch.elapsed_seconds();
-    history_.push_back(snap);
-    // New training grows the pool, so any earlier extraction is stale — the
-    // Extract stage must run again before its artifact can be exported.
-    extract_done_ = false;
+      TrainingSnapshot snap;
+      snap.ppo = trainer_->update();
+      snap.pool_size = pool_.size();
+      snap.max_set_size = pool_.max_set_size();
+      snap.cumulative_steps = trainer_->total_steps();
+      snap.cumulative_episodes = trainer_->total_episodes();
+      snap.sat_queries = train_sat_queries();
+      snap.elapsed_seconds = train_seconds_ + watch.elapsed_seconds();
+      history_.push_back(snap);
+      // New training grows the pool, so any earlier extraction is stale — the
+      // Extract stage must run again before its artifact can be exported.
+      extract_done_ = false;
+    }
+  } catch (const TimeoutError&) {
+    // The watchdog fired inside an update: the trainer's in-memory state is
+    // mid-flight and must not be checkpointed (see Pipeline::poisoned).
+    poisoned_ = true;
+    train_seconds_ += watch.elapsed_seconds();
+    return StageStatus::TimedOut;
+  } catch (...) {
+    poisoned_ = true;
+    train_seconds_ += watch.elapsed_seconds();
+    throw;
   }
   train_seconds_ += watch.elapsed_seconds();
 
@@ -182,60 +221,68 @@ StageStatus Pipeline::run_train(std::size_t updates, const StageControl& control
 
 StageStatus Pipeline::run_extract(std::size_t k, const StageControl& control) {
   if (!matrix_.has_value())
-    throw Error("Pipeline: extract stage requires the compatibility stage");
+    throw PermanentError("Pipeline: extract stage requires the compatibility stage");
   if (history_.empty() && pool_.size() == 0)
-    throw Error("Pipeline: extract stage requires training first "
+    throw PermanentError("Pipeline: extract stage requires training first "
                 "(the distinct-set pool is empty)");
   if (k == 0) k = config_.k_patterns;
 
-  util::Stopwatch watch;
-  const std::vector<util::BitVec> candidates = pool_.k_largest(k);
-  sim::PatternSet patterns(netlist_->inputs().size());
-  std::vector<util::BitVec> kept_sets;
-  std::unordered_set<util::BitVec, util::BitVecHash> distinct_patterns;
+  util::WatchdogScope watchdog(control.stage_timeout_seconds);
+  try {
+    DETERRENT_FAULT_POINT("pipeline.stage_boundary");
+    util::Stopwatch watch;
+    const std::vector<util::BitVec> candidates = pool_.k_largest(k);
+    sim::PatternSet patterns(netlist_->inputs().size());
+    std::vector<util::BitVec> kept_sets;
+    std::unordered_set<util::BitVec, util::BitVecHash> distinct_patterns;
 
-  if (!candidates.empty()) {
-    sat::NetlistOracle oracle(*netlist_);
-    util::Rng rng(config_.seed ^ 0xd1e5c0de);
-    std::vector<sat::Constraint> constraints;
-    for (std::size_t s = 0; s < candidates.size(); ++s) {
-      // A cancelled or over-budget extraction discards the partial batch:
-      // extraction is cheap relative to training and restarting it keeps the
-      // pattern artifact all-or-nothing.
-      if (const auto status = checkpoint(
-              control, {Stage::Extract, s, candidates.size(),
-                        std::to_string(patterns.pattern_count()) + " patterns",
-                        watch.elapsed_seconds(), 0});
-          status != StageStatus::Complete)
-        return status;
+    if (!candidates.empty()) {
+      sat::NetlistOracle oracle(*netlist_);
+      util::Rng rng(config_.seed ^ 0xd1e5c0de);
+      std::vector<sat::Constraint> constraints;
+      for (std::size_t s = 0; s < candidates.size(); ++s) {
+        // A cancelled or over-budget extraction discards the partial batch:
+        // extraction is cheap relative to training and restarting it keeps the
+        // pattern artifact all-or-nothing.
+        if (const auto status = checkpoint(
+                control, {Stage::Extract, s, candidates.size(),
+                          std::to_string(patterns.pattern_count()) + " patterns",
+                          watch.elapsed_seconds(), 0});
+            status != StageStatus::Complete)
+          return status;
 
-      const auto& set = candidates[s];
-      constraints.clear();
-      for (const std::uint32_t idx : set.to_indices())
-        constraints.push_back({rare_nets_[idx].net, rare_nets_[idx].rare_value});
-      oracle.randomize_completion(rng);
-      const auto pattern = oracle.find_pattern(constraints);
-      // Every pooled set was SAT-verified during training; an UNSAT here
-      // would indicate a bug, but stay robust and simply skip.
-      if (!pattern.has_value()) {
-        util::Log::warn("pipeline: pooled set of size ", set.count(),
-                        " unexpectedly unsatisfiable; skipped");
-        continue;
-      }
-      if (distinct_patterns.insert(*pattern).second) {
-        patterns.push(*pattern);
-        kept_sets.push_back(set);
+        const auto& set = candidates[s];
+        constraints.clear();
+        for (const std::uint32_t idx : set.to_indices())
+          constraints.push_back({rare_nets_[idx].net, rare_nets_[idx].rare_value});
+        oracle.randomize_completion(rng);
+        const auto pattern = oracle.find_pattern(constraints);
+        // Every pooled set was SAT-verified during training; an UNSAT here
+        // would indicate a bug, but stay robust and simply skip.
+        if (!pattern.has_value()) {
+          util::Log::warn("pipeline: pooled set of size ", set.count(),
+                          " unexpectedly unsatisfiable; skipped");
+          continue;
+        }
+        if (distinct_patterns.insert(*pattern).second) {
+          patterns.push(*pattern);
+          kept_sets.push_back(set);
+        }
       }
     }
-  }
 
-  patterns_ = std::move(patterns);
-  extracted_sets_ = std::move(kept_sets);
-  extract_done_ = true;
-  checkpoint(control, {Stage::Extract, candidates.size(), candidates.size(),
-                       std::to_string(patterns_.pattern_count()) + " patterns",
-                       watch.elapsed_seconds(), 0});
-  return StageStatus::Complete;
+    patterns_ = std::move(patterns);
+    extracted_sets_ = std::move(kept_sets);
+    extract_done_ = true;
+    checkpoint(control, {Stage::Extract, candidates.size(), candidates.size(),
+                         std::to_string(patterns_.pattern_count()) + " patterns",
+                         watch.elapsed_seconds(), 0});
+    return StageStatus::Complete;
+  } catch (const TimeoutError&) {
+    // Extraction is all-or-nothing: nothing was committed, so the partial
+    // batch is simply dropped.
+    return StageStatus::TimedOut;
+  }
 }
 
 StageStatus Pipeline::run_remaining(const StageControl& control) {
@@ -257,7 +304,7 @@ StageStatus Pipeline::run_remaining(const StageControl& control) {
 // ---------------------------------------------------------- exports --------
 
 RareNetArtifact Pipeline::export_rare_nets() const {
-  if (!rare_done_) throw Error("Pipeline: rare-nets stage has not run");
+  if (!rare_done_) throw PermanentError("Pipeline: rare-nets stage has not run");
   RareNetArtifact a;
   a.netlist_fingerprint = fingerprint_;
   a.threshold = config_.rare.threshold;
@@ -268,7 +315,7 @@ RareNetArtifact Pipeline::export_rare_nets() const {
 }
 
 CompatibilityArtifact Pipeline::export_compatibility() const {
-  if (!matrix_.has_value()) throw Error("Pipeline: compatibility stage has not run");
+  if (!matrix_.has_value()) throw PermanentError("Pipeline: compatibility stage has not run");
   CompatibilityArtifact a;
   a.netlist_fingerprint = fingerprint_;
   a.rare_hash = rare_hash();
@@ -280,7 +327,7 @@ CompatibilityArtifact Pipeline::export_compatibility() const {
 
 PolicyArtifact Pipeline::export_policy() const {
   if (!trainer_ && !pending_trainer_state_.has_value())
-    throw Error("Pipeline: train stage has not run");
+    throw PermanentError("Pipeline: train stage has not run");
   PolicyArtifact a;
   a.netlist_fingerprint = fingerprint_;
   a.rare_hash = rare_hash();
@@ -292,7 +339,7 @@ PolicyArtifact Pipeline::export_policy() const {
 }
 
 PatternArtifact Pipeline::export_patterns() const {
-  if (!extract_done_) throw Error("Pipeline: extract stage has not run");
+  if (!extract_done_) throw PermanentError("Pipeline: extract stage has not run");
   PatternArtifact a;
   a.netlist_fingerprint = fingerprint_;
   a.rare_hash = rare_hash();
@@ -304,14 +351,14 @@ PatternArtifact Pipeline::export_patterns() const {
 // --------------------------------------------------------- adoption --------
 
 void Pipeline::adopt(RareNetArtifact artifact) {
-  if (rare_done_) throw Error("Pipeline: rare-nets stage already populated");
+  if (rare_done_) throw PermanentError("Pipeline: rare-nets stage already populated");
   if (artifact.netlist_fingerprint != fingerprint_)
-    throw Error("Pipeline: rare-net artifact belongs to a different netlist");
+    throw PermanentError("Pipeline: rare-net artifact belongs to a different netlist");
   if (artifact.rare_nets.empty())
-    throw Error("Pipeline: rare-net artifact holds no rare nets");
+    throw PermanentError("Pipeline: rare-net artifact holds no rare nets");
   for (const auto& rn : artifact.rare_nets)
     if (rn.net >= netlist_->net_count())
-      throw Error("Pipeline: rare-net artifact references net " +
+      throw PermanentError("Pipeline: rare-net artifact references net " +
                   std::to_string(rn.net) + " outside the netlist");
   rare_nets_ = std::move(artifact.rare_nets);
   offline_rng_state_ = artifact.rng_state_after;
@@ -320,14 +367,14 @@ void Pipeline::adopt(RareNetArtifact artifact) {
 
 void Pipeline::adopt(CompatibilityArtifact artifact) {
   if (!rare_done_)
-    throw Error("Pipeline: adopt rare nets before the compatibility artifact");
-  if (matrix_.has_value()) throw Error("Pipeline: compatibility stage already populated");
+    throw PermanentError("Pipeline: adopt rare nets before the compatibility artifact");
+  if (matrix_.has_value()) throw PermanentError("Pipeline: compatibility stage already populated");
   if (artifact.netlist_fingerprint != fingerprint_)
-    throw Error("Pipeline: compatibility artifact belongs to a different netlist");
+    throw PermanentError("Pipeline: compatibility artifact belongs to a different netlist");
   if (artifact.rare_hash != rare_hash())
-    throw Error("Pipeline: compatibility artifact was built from different rare nets");
+    throw PermanentError("Pipeline: compatibility artifact was built from different rare nets");
   if (artifact.matrix.size() != rare_nets_.size())
-    throw Error("Pipeline: compatibility matrix size " +
+    throw PermanentError("Pipeline: compatibility matrix size " +
                 std::to_string(artifact.matrix.size()) + " does not match " +
                 std::to_string(rare_nets_.size()) + " rare nets");
   matrix_ = std::move(artifact.matrix);
@@ -337,16 +384,16 @@ void Pipeline::adopt(CompatibilityArtifact artifact) {
 
 void Pipeline::adopt(PolicyArtifact artifact) {
   if (!matrix_.has_value())
-    throw Error("Pipeline: adopt the compatibility artifact before the policy");
+    throw PermanentError("Pipeline: adopt the compatibility artifact before the policy");
   if (trainer_ || !history_.empty())
-    throw Error("Pipeline: train stage already populated");
+    throw PermanentError("Pipeline: train stage already populated");
   if (artifact.netlist_fingerprint != fingerprint_)
-    throw Error("Pipeline: policy artifact belongs to a different netlist");
+    throw PermanentError("Pipeline: policy artifact belongs to a different netlist");
   if (artifact.rare_hash != rare_hash())
-    throw Error("Pipeline: policy artifact was built from different rare nets");
+    throw PermanentError("Pipeline: policy artifact was built from different rare nets");
   for (const auto& set : artifact.pool_sets)
     if (set.size() != rare_nets_.size())
-      throw Error("Pipeline: pooled set width does not match the rare-net count");
+      throw PermanentError("Pipeline: pooled set width does not match the rare-net count");
   pool_.replace(std::move(artifact.pool_sets));
   history_ = std::move(artifact.history);
   train_seconds_ = artifact.train_seconds;
@@ -359,16 +406,16 @@ void Pipeline::adopt(PolicyArtifact artifact) {
 
 void Pipeline::adopt(PatternArtifact artifact) {
   if (!matrix_.has_value())
-    throw Error("Pipeline: adopt the compatibility artifact before patterns");
+    throw PermanentError("Pipeline: adopt the compatibility artifact before patterns");
   if (artifact.netlist_fingerprint != fingerprint_)
-    throw Error("Pipeline: pattern artifact belongs to a different netlist");
+    throw PermanentError("Pipeline: pattern artifact belongs to a different netlist");
   if (artifact.rare_hash != rare_hash())
-    throw Error("Pipeline: pattern artifact was built from different rare nets");
+    throw PermanentError("Pipeline: pattern artifact was built from different rare nets");
   if (artifact.patterns.input_count() != netlist_->inputs().size())
-    throw Error("Pipeline: pattern width does not match the netlist inputs");
+    throw PermanentError("Pipeline: pattern width does not match the netlist inputs");
   for (const auto& set : artifact.extracted_sets)
     if (set.size() != rare_nets_.size())
-      throw Error("Pipeline: extracted-set width does not match the rare-net count");
+      throw PermanentError("Pipeline: extracted-set width does not match the rare-net count");
   patterns_ = std::move(artifact.patterns);
   extracted_sets_ = std::move(artifact.extracted_sets);
   extract_done_ = true;

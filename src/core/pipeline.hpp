@@ -47,12 +47,23 @@ struct StageControl {
   double wall_budget_seconds = 0.0;
   /// Cumulative training SAT-query ceiling; 0 = unlimited. Train only.
   std::uint64_t sat_query_budget = 0;
+  /// Stage watchdog: a util::WatchdogScope deadline installed for the whole
+  /// stage call (propagated into thread-pool workers). Unlike the budgets,
+  /// which only trip at checkpoints, the watchdog fires *inside* hung
+  /// primitives at their cancellation points (SAT queries, injected hangs)
+  /// and surfaces as StageStatus::TimedOut. 0 = no watchdog.
+  double stage_timeout_seconds = 0.0;
 };
 
 /// How a stage call ended. Cancelled/BudgetExhausted leave completed work in
 /// place (Train keeps finished updates; Extract discards its partial batch),
-/// so the pipeline can be saved and resumed later.
-enum class StageStatus { Complete, Cancelled, BudgetExhausted };
+/// so the pipeline can be saved and resumed later. TimedOut means the stage
+/// watchdog abandoned hung work: on-disk checkpoints are untouched, but the
+/// in-memory train state may be mid-update (see Pipeline::poisoned) — resume
+/// from the session's artifacts rather than this object.
+enum class StageStatus { Complete, Cancelled, BudgetExhausted, TimedOut };
+
+const char* to_string(StageStatus status);
 
 /// Staged DETERRENT pipeline with serializable artifacts.
 ///
@@ -148,6 +159,11 @@ class Pipeline {
   bool rare_nets_done() const { return rare_done_; }
   bool compatibility_done() const { return matrix_.has_value(); }
   bool extract_done() const { return extract_done_; }
+  /// True when an exception (timeout, injected fault, I/O failure) escaped
+  /// mid-training-update, so the in-memory trainer state may be torn. A
+  /// poisoned pipeline must not be checkpointed (Session::save skips the
+  /// policy artifact); rebuild from the last saved artifacts instead.
+  bool poisoned() const { return poisoned_; }
 
   std::span<const analysis::RareNet> rare_nets() const { return rare_nets_; }
   const analysis::CompatibilityMatrix& matrix() const { return *matrix_; }
@@ -193,6 +209,7 @@ class Pipeline {
   std::uint64_t sat_queries_base_ = 0;  // from restored checkpoints
 
   bool extract_done_ = false;
+  bool poisoned_ = false;
   sim::PatternSet patterns_;
   std::vector<util::BitVec> extracted_sets_;
 };

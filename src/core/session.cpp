@@ -1,9 +1,12 @@
 #include "core/session.hpp"
 
 #include <filesystem>
+#include <optional>
 
 #include "netlist/stats.hpp"
 #include "util/assert.hpp"
+#include "util/faults.hpp"
+#include "util/logging.hpp"
 
 namespace deterrent::core {
 
@@ -68,7 +71,10 @@ void Session::save(const Pipeline& pipeline) const {
     pipeline.export_rare_nets().save(path(kRareFile));
   if (pipeline.compatibility_done() && !has_compatibility())
     pipeline.export_compatibility().save(path(kCompatFile));
-  if (!pipeline.history().empty()) pipeline.export_policy().save(path(kPolicyFile));
+  // A poisoned pipeline's trainer state may be torn mid-update; persisting
+  // it would checkpoint garbage, so keep the previous on-disk policy.
+  if (!pipeline.history().empty() && !pipeline.poisoned())
+    pipeline.export_policy().save(path(kPolicyFile));
   if (pipeline.extract_done()) {
     pipeline.export_patterns().save(path(kPatternFile));
   } else if (has_patterns()) {
@@ -83,18 +89,79 @@ void Session::save(const Pipeline& pipeline) const {
   }
 }
 
-std::unique_ptr<Pipeline> Session::resume() const { return resume_with(load_config()); }
+namespace {
+
+// Runs one artifact load+adopt. True on success; false when the file was
+// quarantined (renamed to <file>.corrupt), which ends the resume prefix so
+// run_remaining() regenerates the stage. Transient failures — a momentary
+// I/O error, an injected transient fault — are rethrown untouched: they say
+// nothing about the file, and destroying a good artifact over one would
+// trade a retryable hiccup for lost work.
+template <typename LoadFn>
+bool load_or_quarantine(const Session& session, const char* file, LoadFn&& load,
+                        std::vector<std::string>& quarantined) {
+  DETERRENT_FAULT_POINT("session.load_artifact");
+  try {
+    load();
+    return true;
+  } catch (const TransientError&) {
+    throw;
+  } catch (const Error& e) {
+    const std::string src = session.path(file);
+    std::error_code ec;
+    fs::rename(src, src + ".corrupt", ec);
+    if (ec) fs::remove(src, ec);  // rename failed: drop it rather than loop forever
+    util::Log::warn("session: quarantined ", src, " (", e.what(), ")");
+    quarantined.emplace_back(file);
+    return false;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Pipeline> Session::resume() const {
+  quarantined_.clear();
+  return resume_prefix(load_config());
+}
 
 std::unique_ptr<Pipeline> Session::resume_with(const DeterrentConfig& config) const {
+  quarantined_.clear();
+  return resume_prefix(config);
+}
+
+std::unique_ptr<Pipeline> Session::resume_or_init(const DeterrentConfig& fallback) const {
+  quarantined_.clear();
+  std::optional<DeterrentConfig> stored;
+  if (has_meta())
+    load_or_quarantine(*this, kMetaFile, [&] { stored = load_config(); }, quarantined_);
+  if (!stored.has_value()) save_config(fallback);
+  return resume_prefix(stored.value_or(fallback));
+}
+
+std::unique_ptr<Pipeline> Session::resume_prefix(const DeterrentConfig& config) const {
   auto pipeline = std::make_unique<Pipeline>(*netlist_, config);
   if (!has_rare_nets()) return pipeline;
-  pipeline->adopt(RareNetArtifact::load(path(kRareFile), fingerprint_));
+  if (!load_or_quarantine(*this, kRareFile,
+                          [&] { pipeline->adopt(RareNetArtifact::load(path(kRareFile), fingerprint_)); },
+                          quarantined_))
+    return pipeline;
   if (!has_compatibility()) return pipeline;
-  pipeline->adopt(CompatibilityArtifact::load(path(kCompatFile), fingerprint_));
+  if (!load_or_quarantine(*this, kCompatFile,
+                          [&] {
+                            pipeline->adopt(
+                                CompatibilityArtifact::load(path(kCompatFile), fingerprint_));
+                          },
+                          quarantined_))
+    return pipeline;
   if (!has_policy()) return pipeline;  // patterns without a policy are not a prefix
-  pipeline->adopt(PolicyArtifact::load(path(kPolicyFile), fingerprint_));
+  if (!load_or_quarantine(*this, kPolicyFile,
+                          [&] { pipeline->adopt(PolicyArtifact::load(path(kPolicyFile), fingerprint_)); },
+                          quarantined_))
+    return pipeline;
   if (has_patterns())
-    pipeline->adopt(PatternArtifact::load(path(kPatternFile), fingerprint_));
+    load_or_quarantine(*this, kPatternFile,
+                       [&] { pipeline->adopt(PatternArtifact::load(path(kPatternFile), fingerprint_)); },
+                       quarantined_);
   return pipeline;
 }
 

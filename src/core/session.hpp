@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
 
@@ -23,8 +24,17 @@ namespace deterrent::core {
 /// netlist, so stale, truncated, version-skewed, or foreign files fail
 /// loudly with the offending path in the error — a session directory can
 /// never silently mix artifacts from different netlists, runs, or format
-/// versions. Files are written atomically (write-then-rename), so a crash
-/// mid-save leaves the previous consistent state.
+/// versions. Files are written atomically (fsync + write-then-rename), so a
+/// crash mid-save leaves the previous consistent state.
+///
+/// **Self-healing.** A load that fails for any non-transient reason (torn or
+/// bit-flipped file, version skew, broken hash chain) does not abort the
+/// resume: the offending file is renamed to `<name>.corrupt`, recorded in
+/// quarantined(), and the artifact prefix simply ends there — the next
+/// run_remaining() regenerates the stage from the last good artifact.
+/// Transient failures (EMFILE-style I/O, injected transient faults) are
+/// rethrown instead, so the retry layer above (core::Campaign) can back off
+/// and try again without destroying a good file.
 ///
 /// **Resume semantics.** resume() reconstructs a Pipeline from the longest
 /// contiguous stage prefix on disk (a gap ends the prefix: patterns.art
@@ -81,10 +91,23 @@ class Session {
   /// are still validated against the netlist and each other.
   std::unique_ptr<Pipeline> resume_with(const DeterrentConfig& config) const;
 
+  /// Resume for possibly-damaged directories: a missing or corrupt meta file
+  /// is quarantined and replaced with `fallback` (a fresh session is simply
+  /// initialized). When the stored config loads, it wins over `fallback`, so
+  /// a resumed run keeps its original seed and budgets.
+  std::unique_ptr<Pipeline> resume_or_init(const DeterrentConfig& fallback) const;
+
+  /// Artifact files the most recent resume call renamed to `<name>.corrupt`
+  /// (session-relative names, e.g. "policy.art").
+  const std::vector<std::string>& quarantined() const { return quarantined_; }
+
  private:
+  std::unique_ptr<Pipeline> resume_prefix(const DeterrentConfig& config) const;
+
   std::string dir_;
   const netlist::Netlist* netlist_;
   std::uint64_t fingerprint_ = 0;
+  mutable std::vector<std::string> quarantined_;
 };
 
 }  // namespace deterrent::core

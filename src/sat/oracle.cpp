@@ -2,6 +2,8 @@
 
 #include "sat/encoder.hpp"
 #include "util/assert.hpp"
+#include "util/faults.hpp"
+#include "util/watchdog.hpp"
 
 namespace deterrent::sat {
 
@@ -27,6 +29,11 @@ bool NetlistOracle::satisfiable(std::span<const Constraint> constraints,
 
 std::optional<bool> NetlistOracle::try_satisfiable(
     std::span<const Constraint> constraints, std::int64_t conflict_budget) {
+  // Every solver entry is a query boundary: a natural cancellation point for
+  // the stage watchdog and the injection site for simulated solver failures
+  // and hangs.
+  DETERRENT_FAULT_POINT("sat.query");
+  util::WatchdogScope::poll("sat.query");
   const auto assumptions = to_assumptions(constraints);
   switch (solver_.solve(assumptions, conflict_budget)) {
     case Solver::Result::Sat: return true;
@@ -38,6 +45,8 @@ std::optional<bool> NetlistOracle::try_satisfiable(
 
 std::optional<sim::Pattern> NetlistOracle::find_pattern(
     std::span<const Constraint> constraints) {
+  DETERRENT_FAULT_POINT("sat.query");
+  util::WatchdogScope::poll("sat.query");
   const auto assumptions = to_assumptions(constraints);
   if (solver_.solve(assumptions) != Solver::Result::Sat) return std::nullopt;
   const auto inputs = netlist_->inputs();

@@ -15,6 +15,58 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+// ---------------------------------------------------------------------------
+// Error taxonomy. The campaign/session self-healing layer keys its recovery
+// policy on the *dynamic type* of a failure, so throw sites must pick the
+// subclass that names the correct remedy:
+//
+//   TransientError        the environment hiccupped (I/O failure, injected
+//                         fault, watchdog timeout) — a bounded retry of the
+//                         same work may succeed.
+//   CorruptArtifactError  an on-disk artifact failed validation (truncated,
+//                         bit-flipped, wrong kind/version/fingerprint/chain)
+//                         — retrying the load is pointless; quarantine the
+//                         file and regenerate the stage.
+//   PermanentError        the request itself is wrong (bad config, stage
+//                         order, incompatible inputs) — retrying can never
+//                         help; fail the circuit immediately.
+//
+// Plain `Error` remains for call sites that predate the taxonomy; recovery
+// layers treat it as permanent (the conservative default).
+// ---------------------------------------------------------------------------
+
+/// Environment hiccup; bounded retry with backoff may succeed.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// On-disk artifact failed validation; quarantine and regenerate.
+class CorruptArtifactError : public Error {
+ public:
+  explicit CorruptArtifactError(const std::string& what) : Error(what) {}
+};
+
+/// The request itself is invalid; retrying can never help.
+class PermanentError : public Error {
+ public:
+  explicit PermanentError(const std::string& what) : Error(what) {}
+};
+
+/// A cooperative watchdog deadline expired (see util::WatchdogScope) —
+/// transient by definition: the hung work is abandoned and retried.
+class TimeoutError : public TransientError {
+ public:
+  explicit TimeoutError(const std::string& what) : TransientError(what) {}
+};
+
+/// Thrown by an armed util::faults site (Action::Throw). Transient so the
+/// retry/quarantine machinery under test treats it like a real I/O hiccup.
+class FaultInjectedError : public TransientError {
+ public:
+  explicit FaultInjectedError(const std::string& what) : TransientError(what) {}
+};
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
                                      const char* msg) {
   std::fprintf(stderr, "DETERRENT assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,

@@ -4,6 +4,13 @@
 #include <cstdio>
 #include <cstring>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "util/faults.hpp"
+
 namespace deterrent::util {
 
 // ------------------------------------------------------------- writer -----
@@ -63,7 +70,7 @@ void BinaryWriter::bitvec_vec(std::span<const BitVec> v) {
 void BinaryReader::need(std::size_t n) const {
   // Compare via subtraction: pos_ + n could wrap for forged length prefixes.
   if (n > bytes_.size() - pos_)
-    throw Error("artifact payload truncated: need " + std::to_string(n) +
+    throw CorruptArtifactError("artifact payload truncated: need " + std::to_string(n) +
                 " bytes at offset " + std::to_string(pos_) + ", have " +
                 std::to_string(bytes_.size() - pos_));
 }
@@ -116,7 +123,7 @@ BitVec BinaryReader::bitvec() {
   // division-form comparison cannot overflow).
   const std::uint64_t n_words = n_bits / 64 + (n_bits % 64 != 0 ? 1 : 0);
   if (n_words > remaining() / 8)
-    throw Error("artifact bitvec claims " + std::to_string(n_bits) +
+    throw CorruptArtifactError("artifact bitvec claims " + std::to_string(n_bits) +
                 " bits but only " + std::to_string(remaining()) + " bytes remain");
   BitVec bv(n_bits);
   for (std::size_t w = 0; w < bv.word_count(); ++w) {
@@ -125,7 +132,7 @@ BitVec BinaryReader::bitvec() {
     // tail bits mean corruption that CRC happened to miss or a forged file.
     if (w + 1 == bv.word_count() && n_bits % 64 != 0 &&
         (word & ~(~0ULL >> (64 - n_bits % 64))) != 0)
-      throw Error("artifact bitvec has bits set beyond its length");
+      throw CorruptArtifactError("artifact bitvec has bits set beyond its length");
     bv.set_word(w, word);
   }
   return bv;
@@ -138,7 +145,7 @@ BitVec BinaryReader::bitvec() {
 std::vector<std::uint32_t> BinaryReader::u32_vec() {
   const std::uint64_t n = u64();
   if (n > remaining() / 4)
-    throw Error("artifact vector claims " + std::to_string(n) + " u32 elements but only " +
+    throw CorruptArtifactError("artifact vector claims " + std::to_string(n) + " u32 elements but only " +
                 std::to_string(remaining()) + " bytes remain");
   std::vector<std::uint32_t> v(n);
   for (auto& x : v) x = u32();
@@ -148,7 +155,7 @@ std::vector<std::uint32_t> BinaryReader::u32_vec() {
 std::vector<std::uint64_t> BinaryReader::u64_vec() {
   const std::uint64_t n = u64();
   if (n > remaining() / 8)
-    throw Error("artifact vector claims " + std::to_string(n) + " u64 elements but only " +
+    throw CorruptArtifactError("artifact vector claims " + std::to_string(n) + " u64 elements but only " +
                 std::to_string(remaining()) + " bytes remain");
   std::vector<std::uint64_t> v(n);
   for (auto& x : v) x = u64();
@@ -158,7 +165,7 @@ std::vector<std::uint64_t> BinaryReader::u64_vec() {
 std::vector<float> BinaryReader::f32_vec() {
   const std::uint64_t n = u64();
   if (n > remaining() / 4)
-    throw Error("artifact vector claims " + std::to_string(n) + " f32 elements but only " +
+    throw CorruptArtifactError("artifact vector claims " + std::to_string(n) + " f32 elements but only " +
                 std::to_string(remaining()) + " bytes remain");
   std::vector<float> v(n);
   for (auto& x : v) x = f32();
@@ -168,7 +175,7 @@ std::vector<float> BinaryReader::f32_vec() {
 std::vector<BitVec> BinaryReader::bitvec_vec() {
   const std::uint64_t n = u64();
   if (n > remaining() / 8)  // at least the length word of each element
-    throw Error("artifact vector claims " + std::to_string(n) +
+    throw CorruptArtifactError("artifact vector claims " + std::to_string(n) +
                 " bitvec elements but only " + std::to_string(remaining()) +
                 " bytes remain");
   std::vector<BitVec> v;
@@ -179,7 +186,7 @@ std::vector<BitVec> BinaryReader::bitvec_vec() {
 
 void BinaryReader::expect_end() const {
   if (pos_ != bytes_.size())
-    throw Error("artifact payload has " + std::to_string(bytes_.size() - pos_) +
+    throw CorruptArtifactError("artifact payload has " + std::to_string(bytes_.size() - pos_) +
                 " trailing bytes (format mismatch)");
 }
 
@@ -203,11 +210,79 @@ std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
 // ----------------------------------------------------------- envelope -----
 
 namespace {
+
 constexpr char kMagic[4] = {'D', 'E', 'T', 'A'};
+
+/// Flushes file contents to stable storage before the rename publishes them.
+/// Without this the rename can reach disk before the data does, and a power
+/// loss leaves a complete-looking file full of garbage — exactly the torn
+/// state the atomic-write contract promises cannot exist.
+bool sync_file(std::FILE* f) {
+#ifndef _WIN32
+  if (std::fflush(f) != 0) return false;
+  return ::fsync(::fileno(f)) == 0;
+#else
+  return std::fflush(f) == 0;
+#endif
 }
+
+/// Best-effort fsync of the directory holding `path`, so the rename itself
+/// (the directory entry) is durable too. Failure is ignored: not every
+/// filesystem supports directory fsync, and the file-level sync already
+/// guarantees no torn *content*.
+void sync_parent_dir(const std::string& path) {
+#ifndef _WIN32
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+/// Applies an injected torn-write to the finished tmp file: truncation (the
+/// tail never reached disk) or a single flipped bit (silent media corruption).
+/// The file is then renamed into place as usual — producing exactly the
+/// on-disk state a real crash could leave, for the recovery layer to detect.
+void apply_torn_write(const std::string& tmp, faults::Action action,
+                      std::uint64_t corrupt_seed) {
+  std::FILE* f = std::fopen(tmp.c_str(), "r+b");
+  if (f == nullptr) return;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size > 0) {
+    if (action == faults::Action::TornTruncate) {
+      std::fclose(f);
+#ifndef _WIN32
+      ::truncate(tmp.c_str(), size / 2);
+#endif
+      return;
+    }
+    const long pos = static_cast<long>(corrupt_seed % static_cast<std::uint64_t>(size));
+    std::fseek(f, pos, SEEK_SET);
+    const int byte = std::fgetc(f);
+    if (byte != EOF) {
+      std::fseek(f, pos, SEEK_SET);
+      std::fputc(byte ^ (1 << (corrupt_seed % 8)), f);
+    }
+  }
+  std::fclose(f);
+}
+
+}  // namespace
 
 void write_artifact_file(const std::string& path, const ArtifactHeader& header,
                          std::span<const std::uint8_t> payload) {
+  // Injected faults: Throw/Hang fire here; torn actions are applied to the
+  // finished file below, modeling a crash the write-then-rename protocol
+  // could not mask.
+  const faults::detail::WriteFault torn =
+      faults::armed() ? faults::detail::on_write("serialize.write_artifact")
+                      : faults::detail::WriteFault{};
+
   BinaryWriter envelope;
   envelope.u8(static_cast<std::uint8_t>(kMagic[0]));
   envelope.u8(static_cast<std::uint8_t>(kMagic[1]));
@@ -218,12 +293,12 @@ void write_artifact_file(const std::string& path, const ArtifactHeader& header,
   envelope.u64(header.fingerprint);
   envelope.u64(payload.size());
 
-  // Write-then-rename so a crash (or kill) mid-save can never leave a
-  // truncated artifact under the final name — a checkpoint either exists
-  // completely or not at all.
+  // Write-then-fsync-then-rename so a crash (or kill, or power loss) mid-save
+  // can never leave a half-written artifact under the final name — a
+  // checkpoint either exists completely or not at all.
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) throw Error("cannot write artifact file " + tmp);
+  if (f == nullptr) throw TransientError("cannot write artifact file " + tmp);
   bool ok = std::fwrite(envelope.bytes().data(), 1, envelope.bytes().size(), f) ==
             envelope.bytes().size();
   ok = ok && (payload.empty() ||
@@ -232,22 +307,27 @@ void write_artifact_file(const std::string& path, const ArtifactHeader& header,
   tail.u32(crc32(payload));
   ok = ok &&
        std::fwrite(tail.bytes().data(), 1, tail.bytes().size(), f) == tail.bytes().size();
+  ok = sync_file(f) && ok;
   ok = std::fclose(f) == 0 && ok;
   if (!ok) {
     std::remove(tmp.c_str());
-    throw Error("short write to artifact file " + tmp);
+    throw TransientError("short write to artifact file " + tmp);
   }
+  if (torn.action == faults::Action::TornTruncate ||
+      torn.action == faults::Action::TornBitFlip)
+    apply_torn_write(tmp, torn.action, torn.corrupt_seed);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    throw Error("cannot move artifact into place at " + path);
+    throw TransientError("cannot move artifact into place at " + path);
   }
+  sync_parent_dir(path);
 }
 
 std::vector<std::uint8_t> read_artifact_file(const std::string& path,
                                              const ArtifactHeader& expected,
                                              std::uint64_t* fingerprint_out) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) throw Error("cannot open artifact file " + path);
+  if (f == nullptr) throw TransientError("cannot open artifact file " + path);
   std::vector<std::uint8_t> raw;
   std::uint8_t chunk[1 << 16];
   std::size_t n;
@@ -258,18 +338,18 @@ std::vector<std::uint8_t> read_artifact_file(const std::string& path,
   try {
     for (const char m : kMagic)
       if (r.u8() != static_cast<std::uint8_t>(m))
-        throw Error("bad magic (not a DETERRENT artifact)");
+        throw CorruptArtifactError("bad magic (not a DETERRENT artifact)");
     const std::uint32_t kind = r.u32();
     if (kind != expected.kind)
-      throw Error("artifact kind mismatch: file has " + std::to_string(kind) +
+      throw CorruptArtifactError("artifact kind mismatch: file has " + std::to_string(kind) +
                   ", expected " + std::to_string(expected.kind));
     const std::uint32_t version = r.u32();
     if (version != expected.version)
-      throw Error("artifact version mismatch: file has v" + std::to_string(version) +
+      throw CorruptArtifactError("artifact version mismatch: file has v" + std::to_string(version) +
                   ", this build reads v" + std::to_string(expected.version));
     const std::uint64_t fingerprint = r.u64();
     if (expected.fingerprint != 0 && fingerprint != expected.fingerprint)
-      throw Error("netlist fingerprint mismatch: artifact was built for a different "
+      throw CorruptArtifactError("netlist fingerprint mismatch: artifact was built for a different "
                   "circuit (file " +
                   std::to_string(fingerprint) + ", netlist " +
                   std::to_string(expected.fingerprint) + ")");
@@ -279,10 +359,10 @@ std::vector<std::uint8_t> read_artifact_file(const std::string& path,
     // Guard the raw size first — `payload_size + 4` could wrap for a forged
     // size field, and every failure here must be Error, not UB/length_error.
     if (payload_size > r.remaining())
-      throw Error("truncated: payload claims " + std::to_string(payload_size) +
+      throw CorruptArtifactError("truncated: payload claims " + std::to_string(payload_size) +
                   " bytes, file holds " + std::to_string(r.remaining()));
     if (r.remaining() - payload_size != 4)
-      throw Error(r.remaining() - payload_size < 4
+      throw CorruptArtifactError(r.remaining() - payload_size < 4
                       ? "truncated: CRC missing"
                       : "artifact has trailing bytes after CRC");
     std::vector<std::uint8_t> payload(
@@ -292,10 +372,13 @@ std::vector<std::uint8_t> read_artifact_file(const std::string& path,
         std::span<const std::uint8_t>(raw.data() + header_size + payload_size, 4));
     const std::uint32_t stored_crc = crc_reader.u32();
     if (stored_crc != crc32(payload))
-      throw Error("CRC mismatch (artifact corrupt)");
+      throw CorruptArtifactError("CRC mismatch (artifact corrupt)");
     return payload;
   } catch (const Error& e) {
-    throw Error(std::string("artifact ") + path + ": " + e.what());
+    // Every failure inside the envelope walk means the bytes on disk are not a
+    // valid artifact — rethrow with the path, preserving the corrupt taxonomy
+    // so the session layer knows to quarantine rather than retry.
+    throw CorruptArtifactError(std::string("artifact ") + path + ": " + e.what());
   }
 }
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
+
+#include "util/faults.hpp"
+#include "util/watchdog.hpp"
 
 namespace deterrent::util {
 
@@ -22,16 +26,32 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Carry the submitter's watchdog deadline into the worker, so a stage
+  // timeout keeps ticking on every thread doing that stage's work.
+  auto deadline = WatchdogScope::current();
   {
     std::lock_guard lock(mutex_);
-    queue_.push(std::move(task));
+    queue_.push([task = std::move(task), deadline] {
+      WatchdogScope::Adopt adopt(deadline);
+      DETERRENT_FAULT_POINT("threadpool.task");
+      task();
+    });
   }
   cv_task_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+    error = std::exchange(first_error_, nullptr);
+  }
+  // Rethrow on the submitting thread once the batch has fully drained — the
+  // pool stays consistent and reusable, and the failure surfaces where the
+  // retry/quarantine layers can see it instead of std::terminate-ing a
+  // worker.
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::worker_loop() {
@@ -45,9 +65,15 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++active_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }

@@ -13,6 +13,16 @@ namespace deterrent::util {
 /// Fixed-size worker pool. The paper parallelizes the offline pairwise
 /// compatibility computation across 64 processes (§3.3) and uses 16 parallel
 /// environments for MIPS training (§4.1); this pool backs both.
+///
+/// **Failure containment.** A task that throws (a real I/O error, an
+/// injected fault, a watchdog timeout) does not take the worker thread down:
+/// the first in-flight exception is captured and rethrown from the next
+/// wait_idle() — i.e. on the thread that submitted the work — after every
+/// other task has drained, so the pool is always reusable afterwards and a
+/// faulting batch can never deadlock or std::terminate the process. Each
+/// task also runs under the submitting thread's util::WatchdogScope deadline
+/// (captured at submit time), keeping stage watchdogs in force across the
+/// fan-out. The `threadpool.task` fault site fires before every task.
 class ThreadPool {
  public:
   /// n_threads == 0 selects hardware_concurrency (at least 1).
@@ -27,7 +37,8 @@ class ThreadPool {
   /// Enqueues a task; wait_idle() blocks until all enqueued tasks ran.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle, then rethrows
+  /// the first exception any task raised since the previous wait_idle().
   void wait_idle();
 
   /// Runs fn(i) for i in [0, n) across the pool, blocking until done.
@@ -50,6 +61,7 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t active_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  ///< first task failure, rethrown by wait_idle
 };
 
 }  // namespace deterrent::util

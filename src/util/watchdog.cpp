@@ -1,0 +1,50 @@
+#include "util/watchdog.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace deterrent::util {
+
+namespace {
+thread_local std::optional<WatchdogScope::Deadline> t_deadline;
+}
+
+WatchdogScope::WatchdogScope(double seconds) {
+  if (seconds <= 0.0) return;
+  const auto mine =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  prev_ = t_deadline;
+  // Nested scopes may only tighten: a stage-level watchdog must not let an
+  // inner helper push the deadline further out.
+  t_deadline = prev_.has_value() ? std::min(*prev_, mine) : mine;
+  installed_ = true;
+}
+
+WatchdogScope::~WatchdogScope() {
+  if (installed_) t_deadline = prev_;
+}
+
+std::optional<WatchdogScope::Deadline> WatchdogScope::current() { return t_deadline; }
+
+bool WatchdogScope::expired() {
+  return t_deadline.has_value() && Clock::now() >= *t_deadline;
+}
+
+void WatchdogScope::poll(const char* where) {
+  if (expired())
+    throw TimeoutError(std::string("watchdog deadline expired in ") + where);
+}
+
+WatchdogScope::Adopt::Adopt(std::optional<Deadline> deadline) {
+  if (!deadline.has_value()) return;
+  prev_ = t_deadline;
+  t_deadline = prev_.has_value() ? std::min(*prev_, *deadline) : *deadline;
+  installed_ = true;
+}
+
+WatchdogScope::Adopt::~Adopt() {
+  if (installed_) t_deadline = prev_;
+}
+
+}  // namespace deterrent::util
