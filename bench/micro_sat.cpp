@@ -1,80 +1,283 @@
-// Micro-benchmarks: incremental SAT oracle throughput on netlist CNFs.
+// Micro-benchmark: incremental SAT oracle throughput on netlist CNFs.
 //
 // Backs §3.3/§5 — the offline pairwise phase and the per-step compatibility
-// checks issue tens of thousands of assumption-based queries against one
-// solver instance; queries/sec is the figure of merit.
-#include <benchmark/benchmark.h>
+// checks issue tens of thousands of assumption-based rare-net queries against
+// one solver instance; queries/sec is the figure of merit. Measures one fixed
+// pair-query stream over a full-scan benchmark cone through four
+// configurations: the plain single solver (baseline), the single solver with
+// inprocessing, and the clause-sharing portfolio at 2 and 4 threads. Every
+// configuration must return the identical Sat/Unsat verdict per query
+// ("identical_results" in the JSON — the bench doubles as a cross-config
+// differential check).
+//
+//   ./micro_sat [output.json]           (default output: BENCH_sim.json)
+//
+// Appends a "sat" block into the output JSON if it already exists (micro_sim
+// writes the rest of the file); otherwise writes a fresh root object. Re-runs
+// replace a previous "sat" block instead of duplicating it.
+// DETERRENT_BENCH_MODE=quick shrinks the workload for CI smoke runs.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "analysis/rare_nets.hpp"
 #include "bench_gen/library.hpp"
+#include "sat/encoder.hpp"
 #include "sat/oracle.hpp"
+#include "sat/portfolio.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 using namespace deterrent;
 
 namespace {
 
-struct OracleFixture {
-  bench_gen::Benchmark bench;
-  std::vector<analysis::RareNet> rare;
-
-  explicit OracleFixture(const std::string& name)
-      : bench(bench_gen::load_benchmark(name)) {
-    util::Rng rng(1);
-    rare = analysis::find_rare_nets(bench.scan.comb, {}, rng);
-  }
+struct QueryStream {
+  std::vector<std::array<sat::Constraint, 2>> pairs;
+  std::vector<netlist::NetId> query_nets;  // sorted, deduped constraint targets
 };
 
-void BM_PairQuery(benchmark::State& state, const std::string& name) {
-  OracleFixture fx(name);
-  if (fx.rare.size() < 2) {
-    state.SkipWithError("too few rare nets");
-    return;
-  }
-  sat::NetlistOracle oracle(fx.bench.scan.comb);
+/// A fixed, seed-reproducible stream of rare-net pair queries — the workload
+/// shape of the offline compatibility phase (is rare net i at its rare value
+/// compatible with rare net j at its rare value?).
+QueryStream make_queries(const std::vector<analysis::RareNet>& rare,
+                         std::size_t n_queries) {
+  QueryStream stream;
   util::Rng rng(3);
-  for (auto _ : state) {
-    const auto i = rng.below(fx.rare.size());
-    auto j = rng.below(fx.rare.size());
-    if (j == i) j = (j + 1) % fx.rare.size();
-    const sat::Constraint cs[2] = {{fx.rare[i].net, fx.rare[i].rare_value},
-                                   {fx.rare[j].net, fx.rare[j].rare_value}};
-    benchmark::DoNotOptimize(oracle.satisfiable(cs));
+  for (std::size_t q = 0; q < n_queries; ++q) {
+    const auto i = rng.below(rare.size());
+    auto j = rng.below(rare.size());
+    if (j == i) j = (j + 1) % rare.size();
+    stream.pairs.push_back(
+        std::array<sat::Constraint, 2>{sat::Constraint{rare[i].net, rare[i].rare_value},
+                                       sat::Constraint{rare[j].net, rare[j].rare_value}});
   }
-  state.counters["queries/s"] =
-      benchmark::Counter(static_cast<double>(state.iterations()),
-                         benchmark::Counter::kIsRate);
+  for (const auto& pair : stream.pairs)
+    for (const auto& c : pair) stream.query_nets.push_back(c.net);
+  std::sort(stream.query_nets.begin(), stream.query_nets.end());
+  stream.query_nets.erase(
+      std::unique(stream.query_nets.begin(), stream.query_nets.end()),
+      stream.query_nets.end());
+  return stream;
 }
 
-void BM_PatternExtraction(benchmark::State& state, const std::string& name) {
-  OracleFixture fx(name);
-  const auto width = static_cast<std::size_t>(state.range(0));
-  if (fx.rare.size() < width) {
-    state.SkipWithError("too few rare nets");
-    return;
+struct ConfigResult {
+  std::string config;
+  std::size_t threads = 1;
+  bool inprocess = false;
+  double queries_per_sec = 0.0;
+  double speedup_vs_plain = 0.0;
+  std::vector<bool> answers;  // per-query Sat verdicts, order of the stream
+};
+
+/// Runs the full query stream through a fresh single-solver oracle and
+/// returns queries/sec (oracle construction and inprocessing warm-up are
+/// setup, not counted — the paper's workload amortizes one encoding over the
+/// whole pairwise phase).
+ConfigResult run_single(const netlist::Netlist& nl, const QueryStream& stream,
+                        bool inprocess, const std::string& label) {
+  ConfigResult r;
+  r.config = label;
+  r.inprocess = inprocess;
+  sat::OracleConfig config;
+  config.inprocess = inprocess;
+  sat::NetlistOracle oracle(nl, config);
+  if (inprocess) {
+    oracle.declare_query_nets(stream.query_nets);
+    oracle.inprocess_now();
   }
-  sat::NetlistOracle oracle(fx.bench.scan.comb);
-  util::Rng rng(5);
-  std::vector<sat::Constraint> cs(width);
-  for (auto _ : state) {
-    const auto idx =
-        rng.sample_indices(static_cast<std::uint32_t>(fx.rare.size()),
-                           static_cast<std::uint32_t>(width));
-    for (std::size_t k = 0; k < width; ++k)
-      cs[k] = {fx.rare[idx[k]].net, fx.rare[idx[k]].rare_value};
-    benchmark::DoNotOptimize(oracle.find_pattern(cs).has_value());
+  r.answers.reserve(stream.pairs.size());
+  util::Stopwatch watch;
+  for (const auto& pair : stream.pairs)
+    r.answers.push_back(oracle.satisfiable(pair));
+  r.queries_per_sec =
+      static_cast<double>(stream.pairs.size()) / watch.elapsed_seconds();
+  return r;
+}
+
+ConfigResult run_portfolio(const netlist::Netlist& nl, const QueryStream& stream,
+                           std::size_t threads, bool inprocess,
+                           sat::Portfolio::ShareStats* share_out) {
+  ConfigResult r;
+  r.config = "portfolio_t" + std::to_string(threads);
+  r.threads = threads;
+  r.inprocess = inprocess;
+
+  sat::PortfolioConfig config;
+  config.solvers = threads;
+  config.inprocess = inprocess;
+  sat::Portfolio portfolio(config, [&](sat::Solver& solver, std::size_t) {
+    sat::encode_netlist(nl, solver);
+    // Freeze exactly what the queries assume on, mirroring
+    // NetlistOracle::declare_query_nets.
+    for (const netlist::NetId n : nl.inputs()) solver.set_frozen(n);
+    for (const netlist::NetId n : stream.query_nets) solver.set_frozen(n);
+  });
+
+  std::vector<sat::Portfolio::Query> queries;
+  queries.reserve(stream.pairs.size());
+  for (const auto& pair : stream.pairs) {
+    sat::Portfolio::Query q;
+    for (const auto& c : pair)
+      q.assumptions.push_back(sat::mk_lit(c.net, /*negated=*/!c.value));
+    queries.push_back(std::move(q));
   }
-  state.counters["patterns/s"] =
-      benchmark::Counter(static_cast<double>(state.iterations()),
-                         benchmark::Counter::kIsRate);
+
+  util::ThreadPool pool(threads);
+  util::Stopwatch watch;
+  const auto results = portfolio.solve_batch(queries, &pool);
+  r.queries_per_sec =
+      static_cast<double>(stream.pairs.size()) / watch.elapsed_seconds();
+  r.answers.reserve(results.size());
+  for (const auto res : results)
+    r.answers.push_back(res == sat::Solver::Result::Sat);
+  if (share_out != nullptr) *share_out = portfolio.share_stats();
+  return r;
+}
+
+/// Reads `path` if present and returns everything before a previous "sat"
+/// block (or before the closing root brace), ready to have the block appended
+/// after a comma. Empty return means "write a fresh root object".
+std::string json_prefix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string content = ss.str();
+  const std::string marker = "\n  \"sat\":";
+  if (const auto sat_pos = content.find(marker); sat_pos != std::string::npos) {
+    content.erase(sat_pos);
+    while (!content.empty() && (content.back() == ',' || content.back() == ' '))
+      content.pop_back();
+    return content;
+  }
+  const auto brace = content.rfind('}');
+  if (brace == std::string::npos) return {};
+  content.erase(brace);
+  while (!content.empty() &&
+         (content.back() == '\n' || content.back() == ' ' || content.back() == '\t'))
+    content.pop_back();
+  return content;
+}
+
+int run_micro_sat(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
+  const util::BenchMode mode = util::bench_mode_from_env();
+
+  const std::string bench_name =
+      mode == util::BenchMode::Quick ? "s13207_like" : "mips16_like";
+  const std::size_t n_queries = mode == util::BenchMode::Quick ? 300 : 1500;
+
+  const bench_gen::Benchmark bench = bench_gen::load_benchmark(bench_name);
+  const netlist::Netlist& nl = bench.scan.comb;
+
+  analysis::RareNetConfig rare_config;
+  rare_config.threshold = 0.1;
+  rare_config.sim_patterns = 1 << 12;
+  util::Rng rare_rng(1);
+  const auto rare = analysis::find_rare_nets(nl, rare_config, rare_rng);
+  if (rare.size() < 2) {
+    std::fprintf(stderr, "micro_sat: too few rare nets in %s\n", bench_name.c_str());
+    return 1;
+  }
+  const QueryStream stream = make_queries(rare, n_queries);
+
+  std::printf("micro_sat: %s, %zu gates, %zu rare nets, %zu pair queries (%s mode)\n",
+              bench_name.c_str(), nl.gate_count(), rare.size(), stream.pairs.size(),
+              util::to_string(mode));
+
+  std::vector<ConfigResult> results;
+  results.push_back(run_single(nl, stream, /*inprocess=*/false, "single_plain"));
+  const double plain_rate = results[0].queries_per_sec;
+  results.push_back(run_single(nl, stream, /*inprocess=*/true, "single_inprocess"));
+  sat::Portfolio::ShareStats share;
+  results.push_back(
+      run_portfolio(nl, stream, /*threads=*/2, /*inprocess=*/true, nullptr));
+  results.push_back(
+      run_portfolio(nl, stream, /*threads=*/4, /*inprocess=*/true, &share));
+
+  bool identical_results = true;
+  std::size_t n_sat = 0;
+  for (const bool sat : results[0].answers) n_sat += sat ? 1 : 0;
+  for (auto& r : results) {
+    r.speedup_vs_plain = r.queries_per_sec / plain_rate;
+    identical_results = identical_results && r.answers == results[0].answers;
+  }
+
+  std::printf("\n%-18s %8s %10s %14s %10s\n", "config", "threads", "inprocess",
+              "queries/s", "speedup");
+  for (const auto& r : results)
+    std::printf("%-18s %8zu %10s %14.1f %9.2fx\n", r.config.c_str(), r.threads,
+                r.inprocess ? "on" : "off", r.queries_per_sec, r.speedup_vs_plain);
+  std::printf("sat fraction: %.3f  clause exchange (t4): exported=%llu "
+              "imported=%llu published=%llu dropped=%llu\n",
+              static_cast<double>(n_sat) / static_cast<double>(n_queries),
+              static_cast<unsigned long long>(share.exported),
+              static_cast<unsigned long long>(share.imported),
+              static_cast<unsigned long long>(share.published),
+              static_cast<unsigned long long>(share.dropped));
+  std::printf("results identical across configs: %s\n",
+              identical_results ? "yes" : "NO — DIFFERENTIAL MISMATCH");
+
+  const std::string prefix = json_prefix(out_path);
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_sat: cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  if (prefix.empty()) {
+    std::fprintf(f, "{");
+  } else {
+    std::fprintf(f, "%s,", prefix.c_str());
+  }
+  std::fprintf(f, "\n  \"sat\": {\n");
+  std::fprintf(f, "    \"benchmark\": \"%s\",\n", bench_name.c_str());
+  std::fprintf(f, "    \"mode\": \"%s\",\n", util::to_string(mode));
+  std::fprintf(f, "    \"gates\": %zu,\n", nl.gate_count());
+  std::fprintf(f, "    \"rare_nets\": %zu,\n", rare.size());
+  std::fprintf(f, "    \"queries\": %zu,\n", stream.pairs.size());
+  std::fprintf(f, "    \"sat_fraction\": %.4f,\n",
+               static_cast<double>(n_sat) / static_cast<double>(n_queries));
+  std::fprintf(f, "    \"identical_results\": %s,\n",
+               identical_results ? "true" : "false");
+  std::fprintf(f, "    \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "      {\"config\": \"%s\", \"threads\": %zu, \"inprocess\": %s, "
+                 "\"queries_per_sec\": %.6e, \"speedup_vs_plain\": %.4f}%s\n",
+                 r.config.c_str(), r.threads, r.inprocess ? "true" : "false",
+                 r.queries_per_sec, r.speedup_vs_plain,
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f,
+               "    \"share\": {\"exported\": %llu, \"imported\": %llu, "
+               "\"published\": %llu, \"dropped\": %llu}\n",
+               static_cast<unsigned long long>(share.exported),
+               static_cast<unsigned long long>(share.imported),
+               static_cast<unsigned long long>(share.published),
+               static_cast<unsigned long long>(share.dropped));
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return identical_results ? 0 : 1;
 }
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_PairQuery, c2670_like, "c2670_like");
-BENCHMARK_CAPTURE(BM_PairQuery, c6288_like, "c6288_like");
-BENCHMARK_CAPTURE(BM_PairQuery, mips16_like, "mips16_like");
-BENCHMARK_CAPTURE(BM_PatternExtraction, c6288_like, "c6288_like")->Arg(4)->Arg(12);
-BENCHMARK_CAPTURE(BM_PatternExtraction, mips16_like, "mips16_like")->Arg(4);
-
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  try {
+    return run_micro_sat(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "micro_sat: %s\n", e.what());
+    return 1;
+  }
+}

@@ -26,6 +26,9 @@
 //   --budget-seconds <s>   per-stage wall-clock budget  (default unlimited)
 //   --sat-budget <n>       training SAT-query budget    (default unlimited)
 //   --threads <n>          campaign circuit workers     (default hardware)
+//   --sat-inprocess <0|1>  solver inprocessing in the compatibility phase (default 1)
+//   --sat-portfolio <n>    clause-sharing solver clones for pair queries (default 0 = off)
+//   --sat-share-lbd <n>    max LBD of clauses exchanged between clones (default 6)
 //   --retries <n>          campaign per-circuit retries (default 2)
 //   --retry-backoff-ms <m> first retry backoff, doubles (default 50)
 //   --stage-timeout <s>    per-stage watchdog seconds   (default none)
@@ -74,6 +77,11 @@ struct Args {
   double budget_seconds() const { return flag_double("--budget-seconds", 0.0); }
   std::uint64_t sat_budget() const { return flag_size("--sat-budget", 0); }
   std::size_t threads() const { return flag_size("--threads", 0); }
+  bool sat_inprocess() const { return flag_size("--sat-inprocess", 1) != 0; }
+  std::size_t sat_portfolio() const { return flag_size("--sat-portfolio", 0); }
+  std::uint32_t sat_share_lbd() const {
+    return static_cast<std::uint32_t>(flag_size("--sat-share-lbd", 6));
+  }
   std::size_t retries() const { return flag_size("--retries", 2); }
   double retry_backoff_ms() const { return flag_double("--retry-backoff-ms", 50.0); }
   double stage_timeout() const { return flag_double("--stage-timeout", 0.0); }
@@ -124,6 +132,9 @@ bench_gen::Benchmark load_target(const std::string& target) {
 core::DeterrentConfig pipeline_config(const Args& args) {
   core::DeterrentConfig cfg;
   cfg.rare.threshold = args.threshold();
+  cfg.compat.inprocess = args.sat_inprocess();
+  cfg.compat.portfolio_threads = args.sat_portfolio();
+  cfg.compat.share_lbd_cap = args.sat_share_lbd();
   cfg.updates = args.updates();
   cfg.k_patterns = args.k();
   cfg.seed = args.seed();

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <mutex>
 
+#include "sat/encoder.hpp"
+#include "sat/portfolio.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -152,46 +154,93 @@ CompatibilityMatrix build_compatibility(const netlist::Netlist& netlist,
   }
   if (signatures_out != nullptr) *signatures_out = std::move(signatures);
 
-  // Phase 2 — SAT decides the pairs simulation never witnessed. One oracle
-  // per worker; learnt clauses amortize across that worker's share.
+  // Phase 2 — SAT decides the pairs simulation never witnessed.
   std::atomic<std::size_t> sat_sat{0};
   std::atomic<std::size_t> sat_unsat{0};
   std::atomic<std::size_t> timeouts{0};
   std::mutex matrix_mutex;
 
-  auto solve_range = [&](std::size_t begin, std::size_t end) {
-    sat::NetlistOracle oracle(netlist);
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> found;
-    for (std::size_t k = begin; k < end; ++k) {
+  if (config.portfolio_threads >= 2) {
+    // Clause-sharing portfolio: all clones hold the same encoding and race
+    // down the shared pair list; learnt clauses flow between them at query
+    // boundaries. Sat/Unsat answers are identical to the single-solver path.
+    sat::PortfolioConfig pcfg;
+    pcfg.solvers = config.portfolio_threads;
+    pcfg.share_lbd_cap = config.share_lbd_cap;
+    pcfg.inprocess = config.inprocess;
+    sat::Portfolio portfolio(
+        pcfg, [&](sat::Solver& solver, std::size_t /*clone*/) {
+          sat::encode_netlist(netlist, solver);
+          for (const netlist::NetId in : netlist.inputs()) solver.set_frozen(in);
+          for (const auto& rn : rare_nets) solver.set_frozen(rn.net);
+        });
+    std::vector<sat::Portfolio::Query> queries(unresolved.size());
+    for (std::size_t k = 0; k < unresolved.size(); ++k) {
       const auto [i, j] = unresolved[k];
-      sat::Constraint constraints[2] = {
-          {rare_nets[i].net, rare_nets[i].rare_value},
-          {rare_nets[j].net, rare_nets[j].rare_value},
-      };
-      const std::size_t arity = (i == j) ? 1 : 2;
-      const auto result = oracle.try_satisfiable({constraints, arity},
-                                                 config.sat_conflict_budget);
-      if (!result.has_value()) {
-        ++timeouts;
-      } else if (*result) {
-        ++sat_sat;
-        found.emplace_back(i, j);
-      } else {
-        ++sat_unsat;
+      auto& q = queries[k];
+      q.conflict_budget = config.sat_conflict_budget;
+      q.assumptions.push_back(
+          sat::mk_lit(rare_nets[i].net, !rare_nets[i].rare_value));
+      if (j != i)
+        q.assumptions.push_back(
+            sat::mk_lit(rare_nets[j].net, !rare_nets[j].rare_value));
+    }
+    const auto results = portfolio.solve_batch(queries, pool);
+    for (std::size_t k = 0; k < unresolved.size(); ++k) {
+      const auto [i, j] = unresolved[k];
+      switch (results[k]) {
+        case sat::Solver::Result::Sat:
+          ++sat_sat;
+          matrix.set(i, j);
+          break;
+        case sat::Solver::Result::Unsat: ++sat_unsat; break;
+        case sat::Solver::Result::Unknown: ++timeouts; break;
       }
     }
-    if (!found.empty()) {
-      std::lock_guard lock(matrix_mutex);
-      for (const auto& [i, j] : found) matrix.set(i, j);
-    }
-  };
-
-  if (pool != nullptr && pool->thread_count() > 1 && unresolved.size() > 64) {
-    pool->parallel_chunks(unresolved.size(),
-                          [&](std::size_t /*thread*/, std::size_t begin,
-                              std::size_t end) { solve_range(begin, end); });
   } else {
-    solve_range(0, unresolved.size());
+    // One oracle per worker; learnt clauses amortize across that worker's
+    // share. Bit-reproducible for a fixed seed regardless of thread count.
+    sat::OracleConfig ocfg;
+    ocfg.inprocess = config.inprocess;
+    std::vector<netlist::NetId> query_nets;
+    query_nets.reserve(rare_nets.size());
+    for (const auto& rn : rare_nets) query_nets.push_back(rn.net);
+
+    auto solve_range = [&](std::size_t begin, std::size_t end) {
+      sat::NetlistOracle oracle(netlist, ocfg);
+      oracle.declare_query_nets(query_nets);
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> found;
+      for (std::size_t k = begin; k < end; ++k) {
+        const auto [i, j] = unresolved[k];
+        sat::Constraint constraints[2] = {
+            {rare_nets[i].net, rare_nets[i].rare_value},
+            {rare_nets[j].net, rare_nets[j].rare_value},
+        };
+        const std::size_t arity = (i == j) ? 1 : 2;
+        const auto result = oracle.try_satisfiable({constraints, arity},
+                                                   config.sat_conflict_budget);
+        if (!result.has_value()) {
+          ++timeouts;
+        } else if (*result) {
+          ++sat_sat;
+          found.emplace_back(i, j);
+        } else {
+          ++sat_unsat;
+        }
+      }
+      if (!found.empty()) {
+        std::lock_guard lock(matrix_mutex);
+        for (const auto& [i, j] : found) matrix.set(i, j);
+      }
+    };
+
+    if (pool != nullptr && pool->thread_count() > 1 && unresolved.size() > 64) {
+      pool->parallel_chunks(unresolved.size(),
+                            [&](std::size_t /*thread*/, std::size_t begin,
+                                std::size_t end) { solve_range(begin, end); });
+    } else {
+      solve_range(0, unresolved.size());
+    }
   }
   local_stats.sat_sat = sat_sat.load();
   local_stats.sat_unsat = sat_unsat.load();

@@ -69,7 +69,7 @@ enum class ArtifactKind : std::uint32_t {
 
 /// Bumped whenever any artifact payload layout changes; loaders reject other
 /// versions loudly instead of guessing.
-inline constexpr std::uint32_t kArtifactFormatVersion = 1;
+inline constexpr std::uint32_t kArtifactFormatVersion = 2;
 
 /// Output of the rare-net filtering stage (Figure 4, step ❶).
 struct RareNetArtifact {

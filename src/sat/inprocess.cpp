@@ -1,0 +1,549 @@
+// Inprocessing passes for sat::Solver: failed-literal probing, binary
+// implication graph SCC substitution, forward/backward subsumption with
+// self-subsuming resolution, and bounded variable elimination (SatELite
+// style). All passes run at root level between assumption-query batches and
+// respect the frozen-variable set, so assumption variables survive untouched.
+//
+// Soundness of model reconstruction rests on one invariant: every removed
+// variable pushes a ReconstructEntry in removal order, and an entry only
+// references variables that were still live when it was created. Replaying
+// the stack newest-first therefore always finds the referenced values already
+// reconstructed.
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "sat/solver.hpp"
+#include "util/assert.hpp"
+
+namespace deterrent::sat {
+
+namespace {
+
+/// 64-bit variable signature for the fast subset pre-check: sig(C) ⊆ sig(D)
+/// is necessary for C ⊆ D.
+std::uint64_t clause_signature(const Clause& c) {
+  std::uint64_t sig = 0;
+  for (const Lit l : c) sig |= 1ull << (var_of(l) & 63u);
+  return sig;
+}
+
+/// Subset test over clauses sorted by Lit.x.
+bool is_subset(const Clause& small, const Clause& big) {
+  std::size_t j = 0;
+  for (const Lit l : small) {
+    while (j < big.size() && big[j].x < l.x) ++j;
+    if (j >= big.size() || big[j].x != l.x) return false;
+    ++j;
+  }
+  return true;
+}
+
+/// Self-subsumption test: every literal of `c` except `flip` occurs in `d`,
+/// and ¬flip occurs in `d`. When true, resolving c with d on flip yields
+/// d \ {¬flip}, i.e. d can be strengthened. Both clauses sorted by Lit.x;
+/// substituting ¬flip for flip keeps the probe sequence strictly increasing
+/// because the two polarities of a variable have adjacent codes.
+bool self_subsumes(const Clause& c, const Lit flip, const Clause& d) {
+  std::size_t j = 0;
+  for (const Lit l : c) {
+    const Lit need = (l == flip) ? ~flip : l;
+    while (j < d.size() && d[j].x < need.x) ++j;
+    if (j >= d.size() || d[j].x != need.x) return false;
+    ++j;
+  }
+  return true;
+}
+
+/// Resolvent of p (contains v) and n (contains ¬v) on v; nullopt when it is
+/// a tautology. Inputs sorted; output sorted and deduped.
+std::optional<Clause> resolve_on(const Clause& p, const Clause& n, const Var v) {
+  Clause out;
+  out.reserve(p.size() + n.size() - 2);
+  for (const Lit l : p)
+    if (var_of(l) != v) out.push_back(l);
+  for (const Lit l : n)
+    if (var_of(l) != v) out.push_back(l);
+  std::sort(out.begin(), out.end(), [](Lit a, Lit b) { return a.x < b.x; });
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (j > 0 && out[i] == out[j - 1]) continue;
+    if (j > 0 && out[i] == ~out[j - 1]) return std::nullopt;  // tautology
+    out[j++] = out[i];
+  }
+  out.resize(j);
+  return out;
+}
+
+using LearntClause = std::pair<Clause, std::uint32_t>;  // literals + LBD
+
+}  // namespace
+
+bool Solver::probe_failed_literals(const InprocessConfig& config) {
+  const std::uint64_t budget_start = stats_.propagations;
+  for (Var v = 0; v < static_cast<Var>(var_count()); ++v) {
+    if (stats_.propagations - budget_start > config.probe_budget) break;
+    if (value(v) != LBool::Undef || !branchable(v)) continue;
+    for (int s = 0; s < 2; ++s) {
+      if (value(v) != LBool::Undef) break;  // fixed by the first polarity
+      const Lit probe = mk_lit(v, s == 1);
+      new_decision_level();
+      unchecked_enqueue(probe, kCRefUndef);
+      const CRef confl = propagate();
+      cancel_until(0);
+      if (confl == kCRefUndef) continue;
+      stats_.failed_literals++;
+      const Lit forced = ~probe;
+      if (value(forced) == LBool::False) {
+        ok_ = false;
+        return false;
+      }
+      if (value(forced) == LBool::Undef) {
+        unchecked_enqueue(forced, kCRefUndef);
+        if (propagate() != kCRefUndef) {
+          ok_ = false;
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool Solver::run_clause_passes(const InprocessConfig& config) {
+  // ---- extract a root-simplified CNF view --------------------------------
+  // After fixpoint propagation no live clause can be unit or empty under the
+  // root assignment, so every extracted clause has >= 2 unassigned literals.
+  std::vector<Clause> problem;
+  std::vector<LearntClause> learnt;
+  problem.reserve(clauses_.size());
+  learnt.reserve(learnts_.size());
+  const auto extract = [&](const CRef c, const bool is_learnt) {
+    if (clause_dead(c)) return;
+    Clause out;
+    const Lit* lits = clause_lits(c);
+    const std::uint32_t size = clause_size(c);
+    out.reserve(size);
+    for (std::uint32_t k = 0; k < size; ++k) {
+      const LBool lv = value(lits[k]);
+      if (lv == LBool::True) return;  // satisfied at root: drop
+      if (lv == LBool::False) continue;
+      out.push_back(lits[k]);
+    }
+    DETERRENT_ASSERT(out.size() >= 2, "root propagation left a short clause");
+    std::sort(out.begin(), out.end(), [](Lit a, Lit b) { return a.x < b.x; });
+    if (is_learnt)
+      learnt.emplace_back(std::move(out), clause_lbd(c));
+    else
+      problem.push_back(std::move(out));
+  };
+  for (const CRef c : clauses_) extract(c, false);
+  for (const CRef c : learnts_) extract(c, true);
+
+  std::vector<Lit> pending_units;
+  // Variables constrained by a pending unit: their remaining clauses no
+  // longer tell the whole story, so elimination must skip them.
+  std::vector<std::uint8_t> has_pending(var_count(), 0);
+  const auto push_unit = [&](const Lit u) {
+    pending_units.push_back(u);
+    has_pending[var_of(u)] = 1;
+  };
+
+  // ---- SCC equivalent-literal substitution -------------------------------
+  if (config.scc) {
+    // Binary implication graph over literals: clause (a ∨ b) contributes
+    // edges ¬a → b and ¬b → a. Learnt binaries are implied, so they may
+    // contribute too — more equivalences, same soundness.
+    const std::size_t n_nodes = 2 * var_count();
+    std::vector<std::vector<std::uint32_t>> adj(n_nodes);
+    const auto add_bin = [&](const Clause& c) {
+      if (c.size() != 2) return;
+      adj[(~c[0]).x].push_back(c[1].x);
+      adj[(~c[1]).x].push_back(c[0].x);
+    };
+    for (const auto& c : problem) add_bin(c);
+    for (const auto& [c, lbd] : learnt) add_bin(c);
+
+    // Iterative Tarjan.
+    constexpr std::uint32_t kUnvisited = 0xffffffffu;
+    std::vector<std::uint32_t> index(n_nodes, kUnvisited);
+    std::vector<std::uint32_t> low(n_nodes, 0);
+    std::vector<std::uint8_t> on_stack(n_nodes, 0);
+    std::vector<std::uint32_t> scc_stack;
+    struct Frame {
+      std::uint32_t node;
+      std::uint32_t child;
+    };
+    std::vector<Frame> call;
+    std::uint32_t next_index = 0;
+    std::vector<std::vector<std::uint32_t>> components;
+
+    for (std::uint32_t root = 0; root < n_nodes; ++root) {
+      if (index[root] != kUnvisited || adj[root].empty()) continue;
+      index[root] = low[root] = next_index++;
+      scc_stack.push_back(root);
+      on_stack[root] = 1;
+      call.push_back({root, 0});
+      while (!call.empty()) {
+        Frame& fr = call.back();
+        if (fr.child < adj[fr.node].size()) {
+          const std::uint32_t w = adj[fr.node][fr.child++];
+          if (index[w] == kUnvisited) {
+            index[w] = low[w] = next_index++;
+            scc_stack.push_back(w);
+            on_stack[w] = 1;
+            call.push_back({w, 0});
+          } else if (on_stack[w]) {
+            low[fr.node] = std::min(low[fr.node], index[w]);
+          }
+        } else {
+          if (low[fr.node] == index[fr.node]) {
+            components.emplace_back();
+            for (;;) {
+              const std::uint32_t w = scc_stack.back();
+              scc_stack.pop_back();
+              on_stack[w] = 0;
+              components.back().push_back(w);
+              if (w == fr.node) break;
+            }
+          }
+          const std::uint32_t done = fr.node;
+          call.pop_back();
+          if (!call.empty())
+            low[call.back().node] = std::min(low[call.back().node], low[done]);
+        }
+      }
+    }
+
+    bool substituted_any = false;
+    for (const auto& comp : components) {
+      if (comp.size() < 2) continue;
+      // l and ¬l in one SCC ⇒ l ≡ ¬l ⇒ UNSAT.
+      std::vector<std::uint32_t> sorted(comp);
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t i = 1; i < sorted.size(); ++i)
+        if ((sorted[i] >> 1) == (sorted[i - 1] >> 1)) {
+          ok_ = false;
+          return false;
+        }
+      // Representative: prefer a frozen variable (it must survive), then the
+      // lowest index for determinism.
+      std::uint32_t rep = comp[0];
+      for (const std::uint32_t lx : comp) {
+        const bool better_frozen =
+            frozen_[lx >> 1] != 0 && frozen_[rep >> 1] == 0;
+        const bool same_frozen = (frozen_[lx >> 1] != 0) == (frozen_[rep >> 1] != 0);
+        if (better_frozen || (same_frozen && (lx >> 1) < (rep >> 1))) rep = lx;
+      }
+      const Lit rep_lit{rep};
+      for (const std::uint32_t lx : comp) {
+        const Var u = lx >> 1;
+        if (u == var_of(rep_lit)) continue;
+        if (frozen_[u] != 0) continue;  // keep frozen members, lose the merge
+        if (subst_[u] != kUndefLit || eliminated_[u] != 0) continue;
+        // lit lx ≡ rep_lit, so u ≡ rep_lit with lx's sign folded in.
+        subst_[u] = (lx & 1u) ? ~rep_lit : rep_lit;
+        reconstruct_.push_back({u, subst_[u], {}});
+        stats_.equivalent_literals++;
+        substituted_any = true;
+      }
+    }
+
+    if (substituted_any) {
+      const auto rewrite = [&](Clause& c) -> bool {  // false ⇒ drop clause
+        bool changed = false;
+        for (Lit& l : c) {
+          const Lit m = resolve_subst(l);
+          changed = changed || m != l;
+          l = m;
+        }
+        if (!changed) return true;
+        std::sort(c.begin(), c.end(), [](Lit a, Lit b) { return a.x < b.x; });
+        std::size_t j = 0;
+        for (std::size_t i = 0; i < c.size(); ++i) {
+          if (j > 0 && c[i] == c[j - 1]) continue;
+          if (j > 0 && c[i] == ~c[j - 1]) return false;  // tautology
+          c[j++] = c[i];
+        }
+        c.resize(j);
+        if (c.size() == 1) {
+          push_unit(c[0]);
+          return false;  // promoted to a unit
+        }
+        return true;
+      };
+      // Compact in place; `j == i` would self-move-assign (which empties a
+      // libstdc++ vector), so only move when the slots differ.
+      std::size_t j = 0;
+      for (std::size_t i = 0; i < problem.size(); ++i)
+        if (rewrite(problem[i])) {
+          if (j != i) problem[j] = std::move(problem[i]);
+          ++j;
+        }
+      problem.resize(j);
+      j = 0;
+      for (std::size_t i = 0; i < learnt.size(); ++i)
+        if (rewrite(learnt[i].first)) {
+          if (j != i) learnt[j] = std::move(learnt[i]);
+          ++j;
+        }
+      learnt.resize(j);
+    }
+  }
+
+  // ---- subsumption / self-subsuming resolution ---------------------------
+  if (config.subsumption) {
+    // Victims: problem clauses then learnt clauses; only problem clauses act
+    // as subsumers (learnts are disposable, strengthening them is free).
+    const std::size_t n_problem = problem.size();
+    const std::size_t n_all = n_problem + learnt.size();
+    const auto victim = [&](const std::size_t i) -> Clause& {
+      return i < n_problem ? problem[i] : learnt[i - n_problem].first;
+    };
+    std::vector<std::uint64_t> sig(n_all);
+    std::vector<std::uint8_t> removed(n_all, 0);
+    std::vector<std::vector<std::uint32_t>> occ(2 * var_count());
+    for (std::size_t i = 0; i < n_all; ++i) {
+      sig[i] = clause_signature(victim(i));
+      for (const Lit l : victim(i))
+        occ[l.x].push_back(static_cast<std::uint32_t>(i));
+    }
+
+    for (std::size_t i = 0; i < n_problem; ++i) {
+      if (removed[i]) continue;
+      const Clause& c = problem[i];
+      // Backward subsumption through the sparsest occurrence list.
+      Lit best = c[0];
+      for (const Lit l : c)
+        if (occ[l.x].size() < occ[best.x].size()) best = l;
+      for (const std::uint32_t j : occ[best.x]) {
+        if (j == i || removed[j]) continue;
+        const Clause& d = victim(j);
+        if (d.size() < c.size()) continue;
+        if ((sig[i] & ~sig[j]) != 0) continue;
+        if (is_subset(c, d)) {
+          removed[j] = 1;
+          stats_.subsumed_clauses++;
+        }
+      }
+      // Self-subsuming resolution: strengthen d by dropping ¬l when
+      // c \ {l} ⊆ d \ {¬l}.
+      for (const Lit l : c) {
+        for (const std::uint32_t j : occ[(~l).x]) {
+          if (j == i || removed[j]) continue;
+          Clause& d = victim(j);
+          if (d.size() < c.size()) continue;
+          if ((sig[i] & ~sig[j]) != 0) continue;
+          if (!self_subsumes(c, l, d)) continue;  // also re-checks ¬l ∈ d
+          d.erase(std::find(d.begin(), d.end(), ~l));
+          sig[j] = clause_signature(d);
+          stats_.strengthened_clauses++;
+          if (d.size() == 1) {
+            push_unit(d[0]);
+            removed[j] = 1;
+          }
+        }
+      }
+    }
+
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < problem.size(); ++i)
+      if (!removed[i]) {
+        if (j != i) problem[j] = std::move(problem[i]);  // j == i would self-move
+        ++j;
+      }
+    problem.resize(j);
+    j = 0;
+    for (std::size_t i = 0; i < learnt.size(); ++i)
+      if (!removed[n_problem + i]) {
+        if (j != i) learnt[j] = std::move(learnt[i]);
+        ++j;
+      }
+    learnt.resize(j);
+  }
+
+  // ---- bounded variable elimination --------------------------------------
+  if (config.elimination) {
+    std::vector<std::vector<std::uint32_t>> occ(2 * var_count());
+    std::vector<std::uint8_t> removed(problem.size(), 0);
+    for (std::size_t i = 0; i < problem.size(); ++i)
+      for (const Lit l : problem[i])
+        occ[l.x].push_back(static_cast<std::uint32_t>(i));
+
+    for (Var v = 0; v < static_cast<Var>(var_count()); ++v) {
+      if (frozen_[v] != 0 || !branchable(v) || value(v) != LBool::Undef ||
+          has_pending[v] != 0)
+        continue;
+      const auto live = [&](const std::vector<std::uint32_t>& idx) {
+        std::vector<std::uint32_t> out;
+        out.reserve(idx.size());
+        for (const std::uint32_t i : idx)
+          if (!removed[i]) out.push_back(i);
+        return out;
+      };
+      const auto pos = live(occ[mk_lit(v, false).x]);
+      const auto neg = live(occ[mk_lit(v, true).x]);
+      if (pos.empty() && neg.empty()) continue;  // v occurs nowhere
+      if (pos.size() > config.elim_occurrence_limit ||
+          neg.size() > config.elim_occurrence_limit)
+        continue;
+
+      std::vector<Clause> resolvents;
+      resolvents.reserve(pos.size() * neg.size());
+      bool too_big = false;
+      for (const std::uint32_t pi : pos) {
+        for (const std::uint32_t ni : neg) {
+          auto r = resolve_on(problem[pi], problem[ni], v);
+          if (!r.has_value()) continue;
+          if (r->size() > config.elim_clause_limit) {
+            too_big = true;
+            break;
+          }
+          resolvents.push_back(std::move(*r));
+        }
+        if (too_big) break;
+      }
+      if (too_big || resolvents.size() > pos.size() + neg.size()) continue;
+
+      // Commit: record the resolved-away clauses for model reconstruction,
+      // retire them, add the resolvents.
+      ReconstructEntry entry;
+      entry.var = v;
+      for (const std::uint32_t i : pos) {
+        entry.clauses.push_back(problem[i]);
+        removed[i] = 1;
+      }
+      for (const std::uint32_t i : neg) {
+        entry.clauses.push_back(problem[i]);
+        removed[i] = 1;
+      }
+      reconstruct_.push_back(std::move(entry));
+      eliminated_[v] = 1;
+      stats_.eliminated_variables++;
+      for (Clause& r : resolvents) {
+        if (r.size() == 1) {
+          push_unit(r[0]);
+          continue;
+        }
+        const auto idx = static_cast<std::uint32_t>(problem.size());
+        for (const Lit l : r) occ[l.x].push_back(idx);
+        problem.push_back(std::move(r));
+        removed.push_back(0);
+      }
+      occ[mk_lit(v, false).x].clear();
+      occ[mk_lit(v, true).x].clear();
+    }
+
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < problem.size(); ++i)
+      if (!removed[i]) {
+        if (j != i) problem[j] = std::move(problem[i]);  // j == i would self-move
+        ++j;
+      }
+    problem.resize(j);
+    // Learnt clauses mentioning an eliminated variable would need its
+    // definition back to stay meaningful; drop them instead.
+    std::erase_if(learnt, [&](const LearntClause& lc) {
+      for (const Lit l : lc.first)
+        if (eliminated_[var_of(l)] != 0) return true;
+      return false;
+    });
+  }
+
+  // ---- rebuild the clause database ---------------------------------------
+  arena_.clear();
+  clauses_.clear();
+  learnts_.clear();
+  dead_words_ = 0;
+  for (auto& ws : watches_) ws.clear();
+  // Everything on the trail is root-level; reasons are irrelevant there and
+  // the old CRefs are gone.
+  std::fill(reason_.begin(), reason_.end(), kCRefUndef);
+
+  for (const Clause& c : problem) {
+    DETERRENT_ASSERT(c.size() >= 2, "rebuild saw a short problem clause");
+    const CRef cr = alloc_clause(c, false);
+    clauses_.push_back(cr);
+    attach_clause(cr);
+  }
+  for (const auto& [c, lbd] : learnt) {
+    // alloc as non-learnt then tag, so re-adding survivors does not inflate
+    // the learnt_clauses counter.
+    const CRef cr = alloc_clause(c, false);
+    arena_[cr] |= 1u;
+    set_clause_lbd(cr, lbd);
+    learnts_.push_back(cr);
+    attach_clause(cr);
+  }
+
+  for (const Lit u0 : pending_units) {
+    const Lit u = resolve_subst(u0);
+    DETERRENT_ASSERT(eliminated_[var_of(u)] == 0, "pending unit on eliminated var");
+    const LBool lv = value(u);
+    if (lv == LBool::False) {
+      ok_ = false;
+      return false;
+    }
+    if (lv == LBool::Undef) unchecked_enqueue(u, kCRefUndef);
+  }
+  // Re-propagate the whole trail: resolvents may imply new units under the
+  // existing root assignment.
+  qhead_ = 0;
+  if (propagate() != kCRefUndef) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+bool Solver::inprocess(const InprocessConfig& config) {
+  DETERRENT_ASSERT(decision_level() == 0, "inprocess requires root level");
+  if (!ok_) return false;
+  if (propagate() != kCRefUndef) {
+    ok_ = false;
+    return false;
+  }
+  stats_.inprocess_runs++;
+  if (config.probing && !probe_failed_literals(config)) return false;
+  if ((config.scc || config.subsumption || config.elimination) &&
+      !run_clause_passes(config))
+    return false;
+  return ok_;
+}
+
+void Solver::extend_model() {
+  for (std::size_t i = reconstruct_.size(); i-- > 0;) {
+    const ReconstructEntry& e = reconstruct_[i];
+    if (e.equiv != kUndefLit) {
+      model_[e.var] =
+          lbool_from(lit_value(model_[var_of(e.equiv)], e.equiv) == LBool::True);
+      continue;
+    }
+    // SatELite extension: the pivot defaults to false; flip it when some
+    // recorded clause containing the positive pivot is unsatisfied by the
+    // other literals. Clauses of the opposite polarity are then satisfied
+    // because the model satisfies every resolvent.
+    bool pivot_true = false;
+    for (const Clause& c : e.clauses) {
+      bool has_pos = false;
+      bool satisfied = false;
+      for (const Lit l : c) {
+        if (var_of(l) == e.var) {
+          has_pos = has_pos || !sign_of(l);
+          continue;
+        }
+        if (lit_value(model_[var_of(l)], l) == LBool::True) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied && has_pos) {
+        pivot_true = true;
+        break;
+      }
+    }
+    model_[e.var] = lbool_from(pivot_true);
+  }
+}
+
+}  // namespace deterrent::sat

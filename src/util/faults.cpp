@@ -207,7 +207,8 @@ WriteFault on_write(const char* name) {
 
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
-      "pipeline.stage_boundary", "sat.query", "serialize.write_artifact",
+      "pipeline.stage_boundary", "sat.portfolio.share",
+      "sat.query",               "serialize.write_artifact",
       "session.load_artifact",   "threadpool.task",
   };
   return sites;

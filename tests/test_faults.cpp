@@ -122,10 +122,10 @@ TEST(Faults, TornActionsAreInertAtPlainSites) {
 
 TEST(Faults, KnownSitesCoverTheCompiledRegistry) {
   const auto& sites = faults::known_sites();
-  EXPECT_EQ(sites.size(), 5u);
+  EXPECT_EQ(sites.size(), 6u);
   for (const char* expected :
        {"serialize.write_artifact", "session.load_artifact", "sat.query",
-        "pipeline.stage_boundary", "threadpool.task"}) {
+        "sat.portfolio.share", "pipeline.stage_boundary", "threadpool.task"}) {
     bool found = false;
     for (const auto& s : sites) found = found || s == expected;
     EXPECT_TRUE(found) << expected;
