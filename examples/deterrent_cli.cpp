@@ -1,6 +1,7 @@
 // deterrent_cli — command-line front-end to the staged pipeline.
 //
 // One-shot commands:
+//   deterrent_cli lint     <bench|name>                      static DRC + trojan screen
 //   deterrent_cli analyze  <bench|name>                      rare-net census
 //   deterrent_cli generate <bench|name> -o patterns.txt      DETERRENT patterns
 //   deterrent_cli evaluate <bench|name> -p patterns.txt      coverage vs random HTs
@@ -34,16 +35,25 @@
 //   --stage-timeout <s>    per-stage watchdog seconds   (default none)
 //   --quiet                suppress stage progress on stderr
 //
+// Lint flags (the `lint` subcommand and the staged pipeline's front door):
+//   --lint-json <file|->   write the JSON report to a file (or stdout with -)
+//   --lint-fatal <sev>     reject at info|warning|error   (default error)
+//   --no-lint              disable the pipeline's lint stage entirely
+//
 // Campaign exit codes: 0 all circuits clean, 4 degraded (some circuits
 // recovered/retried or quarantined but at least one completed), 5 every
 // circuit permanently failed, 3 interrupted-but-resumable (cancel/budget),
 // 2 usage error, 1 unexpected exception. See docs/robustness.md.
+// `lint` (and any staged command whose front door rejects) exits 6 with the
+// offending diagnostics on stdout. See docs/lint.md.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "bench_gen/library.hpp"
 #include "core/campaign.hpp"
 #include "core/deterrent.hpp"
@@ -85,6 +95,9 @@ struct Args {
   std::size_t retries() const { return flag_size("--retries", 2); }
   double retry_backoff_ms() const { return flag_double("--retry-backoff-ms", 50.0); }
   double stage_timeout() const { return flag_double("--stage-timeout", 0.0); }
+  std::string lint_json() const { return flag_string("--lint-json", ""); }
+  std::string lint_fatal() const { return flag_string("--lint-fatal", "error"); }
+  bool no_lint() const { return flags.count("--no-lint") != 0; }
   bool quiet() const { return flags.count("--quiet") != 0; }
   bool has(const char* name) const { return flags.count(name) != 0; }
 
@@ -102,7 +115,9 @@ struct Args {
   }
 };
 
-bool is_bare_flag(const char* name) { return std::strcmp(name, "--quiet") == 0; }
+bool is_bare_flag(const char* name) {
+  return std::strcmp(name, "--quiet") == 0 || std::strcmp(name, "--no-lint") == 0;
+}
 
 Args parse_args(int argc, char** argv) {
   Args args;
@@ -129,8 +144,23 @@ bench_gen::Benchmark load_target(const std::string& target) {
 /// The pipeline configuration every staged command (and `generate`) shares —
 /// keeping them identical is what makes `prepare`+`resume` reproduce a
 /// straight `generate` bit for bit.
+analysis::LintSeverity parse_severity(const std::string& name) {
+  if (name == "info") return analysis::LintSeverity::Info;
+  if (name == "warning" || name == "warn") return analysis::LintSeverity::Warning;
+  if (name == "error") return analysis::LintSeverity::Error;
+  throw Error("unknown lint severity '" + name + "' (use info, warning, or error)");
+}
+
+analysis::LintConfig lint_config(const Args& args) {
+  analysis::LintConfig cfg;
+  cfg.enabled = !args.no_lint();
+  cfg.fail_on = parse_severity(args.lint_fatal());
+  return cfg;
+}
+
 core::DeterrentConfig pipeline_config(const Args& args) {
   core::DeterrentConfig cfg;
+  cfg.lint = lint_config(args);
   cfg.rare.threshold = args.threshold();
   cfg.compat.inprocess = args.sat_inprocess();
   cfg.compat.portfolio_threads = args.sat_portfolio();
@@ -173,6 +203,11 @@ int report_status(core::StageStatus status, const core::Session& session) {
       std::printf("stage watchdog timed out; last checkpoint kept in %s — rerun `resume`\n",
                   session.dir().c_str());
       return 3;
+    case core::StageStatus::Rejected:
+      std::printf("design rejected by lint; verdict saved in %s — "
+                  "run `deterrent_cli lint` for the diagnostics\n",
+                  session.dir().c_str());
+      return 6;
   }
   return 3;
 }
@@ -185,6 +220,55 @@ void write_pattern_text(const core::Pipeline& pipeline, const Args& args,
   sim::write_patterns_file(pipeline.patterns(), out);
   std::printf("wrote %zu patterns to %s\n", pipeline.patterns().pattern_count(),
               out.c_str());
+}
+
+int cmd_lint(const Args& args) {
+  analysis::LintConfig cfg = lint_config(args);
+  cfg.enabled = true;  // an explicit `lint` always runs, even with --no-lint
+
+  // Untrusted .bench files go through the checked parser: malformed or
+  // structurally broken sources become parse-tier diagnostics instead of
+  // exceptions, and the netlist-tier rules run only when a netlist built.
+  analysis::LintReport report;
+  std::string name = args.target;
+  if (args.target.find(".bench") != std::string::npos) {
+    const auto parsed = netlist::read_bench_file_checked(args.target);
+    analysis::append_parse_diagnostics(report, parsed.diagnostics, cfg);
+    if (parsed.netlist.has_value()) {
+      const auto netlist_report = analysis::Linter(cfg).lint(*parsed.netlist);
+      report.diagnostics.insert(report.diagnostics.end(),
+                                netlist_report.diagnostics.begin(),
+                                netlist_report.diagnostics.end());
+      report.suppressed += netlist_report.suppressed;
+    }
+  } else {
+    const auto bench = bench_gen::load_benchmark(args.target);
+    name = bench.name;
+    report = analysis::Linter(cfg).lint(bench.original);
+  }
+
+  for (const auto& d : report.diagnostics) {
+    std::string where = d.net_name.empty() ? std::string() : " [" + d.net_name + "]";
+    if (d.line > 0) where += " (line " + std::to_string(d.line) + ")";
+    std::printf("%s: %s%s: %s\n", analysis::to_string(d.severity), d.rule.c_str(),
+                where.c_str(), d.message.c_str());
+  }
+  if (report.suppressed > 0)
+    std::printf("(%zu further findings suppressed; see --lint-json for counts)\n",
+                report.suppressed);
+  std::printf("%s: %s\n", name.c_str(), report.summary().c_str());
+
+  if (!args.lint_json().empty()) {
+    const std::string json = report.to_json();
+    if (args.lint_json() == "-") {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::ofstream out(args.lint_json());
+      if (!out) throw Error("cannot open " + args.lint_json() + " for writing");
+      out << json << "\n";
+    }
+  }
+  return report.rejects(cfg.fail_on) ? 6 : 0;
 }
 
 int cmd_analyze(const Args& args) {
@@ -458,7 +542,7 @@ int cmd_campaign(const Args& args) {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: deterrent_cli <analyze|generate|evaluate|export|prepare|train|"
+               "usage: deterrent_cli <lint|analyze|generate|evaluate|export|prepare|train|"
                "extract|resume|campaign> <bench|name> [flags]\n"
                "  (see header comment for flags)\n");
 }
@@ -468,6 +552,7 @@ void usage() {
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   try {
+    if (args.command == "lint" && !args.target.empty()) return cmd_lint(args);
     if (args.command == "analyze" && !args.target.empty()) return cmd_analyze(args);
     if (args.command == "generate" && !args.target.empty()) return cmd_generate(args);
     if (args.command == "evaluate" && !args.target.empty()) return cmd_evaluate(args);

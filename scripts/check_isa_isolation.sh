@@ -22,6 +22,16 @@ build_dir="${1:-build}"
 obj_dir="$build_dir/CMakeFiles/deterrent.dir/src/sim/kernels"
 status=0
 checked=0
+located=0
+
+# The check is meaningless without a disassembler; skip loudly rather than
+# report a hollow pass (readelf and objdump ship together in binutils).
+for tool in objdump readelf; do
+  if ! command -v "$tool" >/dev/null 2>&1; then
+    echo "skip: $tool not found — install binutils to run the ISA-isolation check"
+    exit 0
+  fi
+done
 
 for isa in avx2 avx512; do
   obj="$obj_dir/kernels_${isa}.cpp.o"
@@ -49,7 +59,10 @@ for isa in avx2 avx512; do
   if [ -z "$mnemonics" ]; then
     echo "FAIL: could not locate ${isa}_table() in $obj"
     status=1
-  elif echo "$mnemonics" | grep -Eq '^v'; then
+    continue
+  fi
+  located=$((located + 1))
+  if echo "$mnemonics" | grep -Eq '^v'; then
     echo "FAIL: ${isa}_table() in $obj contains vector instructions:"
     echo "$mnemonics" | grep -E '^v' | sort -u | sed 's/^/    /'
     echo "  (the factory runs before CPUID checks; its table must be constinit)"
@@ -61,5 +74,12 @@ done
 
 if [ "$checked" -eq 0 ]; then
   echo "note: no x86 SIMD kernel objects found under $obj_dir (non-x86 build?)"
+elif [ "$located" -eq 0 ]; then
+  # Objects existed but no factory symbol was ever matched: the symbol name
+  # drifted (rename, mangling change) and the check silently stopped seeing
+  # the code it guards. Treat that as a failure, not a pass.
+  echo "FAIL: no <isa>_table() factory symbol matched in any checked object —" \
+       "update the symbol pattern in $0"
+  status=1
 fi
 exit "$status"

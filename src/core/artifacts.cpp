@@ -68,6 +68,52 @@ TrainingSnapshot read_snapshot(util::BinaryReader& r) {
 
 }  // namespace
 
+// ------------------------------------------------------------- lint --------
+
+void LintArtifact::save(const std::string& path) const {
+  util::BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(fail_on));
+  w.boolean(rejected);
+  w.u64(report.suppressed);
+  w.u64(report.diagnostics.size());
+  for (const auto& d : report.diagnostics) {
+    w.str(d.rule);
+    w.u8(static_cast<std::uint8_t>(d.severity));
+    w.u32(d.net);
+    w.str(d.net_name);
+    w.u64(d.line);
+    w.str(d.message);
+  }
+  util::write_artifact_file(path, header_for(ArtifactKind::Lint, netlist_fingerprint),
+                            w.bytes());
+}
+
+LintArtifact LintArtifact::load(const std::string& path,
+                                std::uint64_t expected_fingerprint) {
+  LintArtifact a;
+  const auto payload = util::read_artifact_file(
+      path, header_for(ArtifactKind::Lint, expected_fingerprint),
+      &a.netlist_fingerprint);
+  util::BinaryReader r(payload);
+  a.fail_on = static_cast<analysis::LintSeverity>(r.u8());
+  a.rejected = r.boolean();
+  a.report.suppressed = r.u64();
+  const std::uint64_t n = r.u64();
+  a.report.diagnostics.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    analysis::LintDiagnostic d;
+    d.rule = r.str();
+    d.severity = static_cast<analysis::LintSeverity>(r.u8());
+    d.net = r.u32();
+    d.net_name = r.str();
+    d.line = r.u64();
+    d.message = r.str();
+    a.report.diagnostics.push_back(std::move(d));
+  }
+  r.expect_end();
+  return a;
+}
+
 // ------------------------------------------------------- rare nets ---------
 
 std::uint64_t rare_content_hash(std::uint64_t netlist_fingerprint,
@@ -268,6 +314,16 @@ PatternArtifact PatternArtifact::load(const std::string& path,
 // ------------------------------------------------------------ config -------
 
 void write_config(util::BinaryWriter& w, const DeterrentConfig& config) {
+  w.boolean(config.lint.enabled);
+  w.u8(static_cast<std::uint8_t>(config.lint.fail_on));
+  w.u64(config.lint.disabled.size());
+  for (const auto& rule : config.lint.disabled) w.str(rule);
+  w.f64(config.lint.unexcitable_prob);
+  w.u32(config.lint.shadow_co);
+  w.u32(config.lint.trigger_width);
+  w.f64(config.lint.trigger_prob);
+  w.u64(config.lint.trigger_max_fanout);
+  w.u64(config.lint.max_per_rule);
   w.f64(config.rare.threshold);
   w.u64(config.rare.sim_patterns);
   w.boolean(config.rare.exclude_untoggled);
@@ -305,6 +361,18 @@ void write_config(util::BinaryWriter& w, const DeterrentConfig& config) {
 
 DeterrentConfig read_config(util::BinaryReader& r) {
   DeterrentConfig config;
+  config.lint.enabled = r.boolean();
+  config.lint.fail_on = static_cast<analysis::LintSeverity>(r.u8());
+  const std::uint64_t n_disabled = r.u64();
+  config.lint.disabled.clear();
+  config.lint.disabled.reserve(n_disabled);
+  for (std::uint64_t i = 0; i < n_disabled; ++i) config.lint.disabled.push_back(r.str());
+  config.lint.unexcitable_prob = r.f64();
+  config.lint.shadow_co = r.u32();
+  config.lint.trigger_width = r.u32();
+  config.lint.trigger_prob = r.f64();
+  config.lint.trigger_max_fanout = r.u64();
+  config.lint.max_per_rule = r.u64();
   config.rare.threshold = r.f64();
   config.rare.sim_patterns = r.u64();
   config.rare.exclude_untoggled = r.boolean();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/compatibility.hpp"
+#include "analysis/lint.hpp"
 #include "analysis/rare_nets.hpp"
 #include "core/compatible_set_env.hpp"
 #include "rl/ppo.hpp"
@@ -16,6 +17,7 @@ namespace deterrent::core {
 
 /// End-to-end configuration of the DETERRENT pipeline (Figure 4).
 struct DeterrentConfig {
+  analysis::LintConfig lint;                   ///< stage 0: static DRC + trojan screen
   analysis::RareNetConfig rare;                ///< step ❶: rareness filtering
   analysis::CompatibilityBuildConfig compat;   ///< offline pairwise phase
   EnvConfig env;                               ///< MDP variant (§3.1–3.3)
@@ -65,11 +67,28 @@ enum class ArtifactKind : std::uint32_t {
   Compatibility = 3,
   Policy = 4,
   Patterns = 5,
+  Lint = 6,
 };
 
 /// Bumped whenever any artifact payload layout changes; loaders reject other
-/// versions loudly instead of guessing.
-inline constexpr std::uint32_t kArtifactFormatVersion = 2;
+/// versions loudly instead of guessing. v3: session meta gained the
+/// LintConfig block; the lint verdict artifact was added.
+inline constexpr std::uint32_t kArtifactFormatVersion = 3;
+
+/// Verdict of the lint front door (stage 0): the full diagnostic report plus
+/// the reject decision it produced under the run's fail_on severity. Saved as
+/// a session sidecar (`lint.art`) so warnings persist with the run and a
+/// rejected design stays rejected on every resume without re-analysis.
+struct LintArtifact {
+  std::uint64_t netlist_fingerprint = 0;
+  analysis::LintSeverity fail_on = analysis::LintSeverity::Error;  ///< config echo
+  bool rejected = false;
+  analysis::LintReport report;
+
+  void save(const std::string& path) const;
+  static LintArtifact load(const std::string& path,
+                           std::uint64_t expected_fingerprint = 0);
+};
 
 /// Output of the rare-net filtering stage (Figure 4, step ❶).
 struct RareNetArtifact {

@@ -114,6 +114,13 @@ void Campaign::run_circuit_attempt(std::size_t index, const StageControl& contro
   row.status = pipeline->run_remaining(control);
   if (session && !already_done) session->save(*pipeline);
 
+  if (pipeline->lint_done()) {
+    row.lint_ran = true;
+    row.lint_errors = pipeline->lint_report().errors();
+    row.lint_warnings = pipeline->lint_report().warnings();
+    if (row.status == StageStatus::Rejected)
+      row.error = "rejected by lint: " + pipeline->lint_report().summary();
+  }
   if (pipeline->rare_nets_done()) row.rare_nets = pipeline->rare_nets().size();
   if (pipeline->compatibility_done())
     row.compatible_pairs = pipeline->matrix().edge_count();
@@ -148,6 +155,14 @@ CampaignCircuitReport Campaign::run_circuit(std::size_t index,
     row.error.clear();
     try {
       run_circuit_attempt(index, control, attempt, row);
+      if (row.status == StageStatus::Rejected) {
+        // The lint verdict is deterministic — retrying cannot change it, so
+        // quarantine immediately without burning the retry budget.
+        row.ok = false;
+        row.quarantined = true;
+        if (row.error.empty()) row.error = "rejected by lint";
+        break;
+      }
       if (row.status == StageStatus::TimedOut) {
         // The watchdog abandoned a hung stage. Worth retrying: a
         // session-backed circuit resumes from its last good artifact, so the
@@ -269,15 +284,20 @@ CampaignReport Campaign::run(const StageControl& control) {
 }
 
 std::string CampaignReport::to_table() const {
-  util::Table table({"Circuit", "Status", "Rare", "Pairs", "Pool", "Max set", "Patterns",
-                     "SAT", "Cov. (%)", "Seconds"});
+  util::Table table({"Circuit", "Status", "Lint", "Rare", "Pairs", "Pool", "Max set",
+                     "Patterns", "SAT", "Cov. (%)", "Seconds"});
   for (const auto& row : circuits) {
     std::string status = row.quarantined                       ? "quarantined"
                          : !row.ok                             ? "error"
                          : row.status == StageStatus::Complete ? "ok"
                                                                : to_string(row.status);
     if (row.attempts > 1) status += " (x" + std::to_string(row.attempts) + ")";
-    table.add_row({row.name, status, std::to_string(row.rare_nets),
+    const std::string lint = !row.lint_ran ? "-"
+                             : row.lint_errors + row.lint_warnings == 0
+                                 ? "clean"
+                                 : std::to_string(row.lint_errors) + "E/" +
+                                       std::to_string(row.lint_warnings) + "W";
+    table.add_row({row.name, status, lint, std::to_string(row.rare_nets),
                    std::to_string(row.compatible_pairs), std::to_string(row.pool_size),
                    std::to_string(row.max_set_size), std::to_string(row.patterns),
                    std::to_string(row.sat_queries),
@@ -286,7 +306,7 @@ std::string CampaignReport::to_table() const {
                    util::Table::num(row.seconds, 2)});
   }
   table.add_row({"total", std::to_string(completed) + "/" + std::to_string(circuits.size()),
-                 "", "", "", "", std::to_string(total_patterns),
+                 "", "", "", "", "", std::to_string(total_patterns),
                  std::to_string(total_sat_queries),
                  mean_coverage >= 0.0 ? util::Table::num(mean_coverage, 1) : "-",
                  util::Table::num(total_seconds, 2)});

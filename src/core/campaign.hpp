@@ -71,6 +71,11 @@ struct CampaignCircuitReport {
   std::string error;  ///< failure reason when !ok
   StageStatus status = StageStatus::Complete;
   std::uint64_t seed = 0;
+  /// Lint front door (stage 0). A Rejected verdict quarantines the circuit
+  /// immediately — retrying a static analysis cannot change its answer.
+  bool lint_ran = false;
+  std::size_t lint_errors = 0;
+  std::size_t lint_warnings = 0;
   std::size_t rare_nets = 0;
   std::size_t compatible_pairs = 0;
   std::size_t pool_size = 0;

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "analysis/lint.hpp"
 #include "netlist/stats.hpp"
 #include "sat/oracle.hpp"
 #include "util/assert.hpp"
@@ -14,6 +15,7 @@ namespace deterrent::core {
 
 const char* to_string(Stage stage) {
   switch (stage) {
+    case Stage::Lint: return "lint";
     case Stage::RareNets: return "rare-nets";
     case Stage::Compatibility: return "compatibility";
     case Stage::Train: return "train";
@@ -29,6 +31,7 @@ const char* to_string(StageStatus status) {
     case StageStatus::Cancelled: return "cancelled";
     case StageStatus::BudgetExhausted: return "budget";
     case StageStatus::TimedOut: return "timeout";
+    case StageStatus::Rejected: return "rejected";
   }
   return "?";
 }
@@ -48,6 +51,13 @@ std::size_t Pipeline::effective_updates() const {
 }
 
 Stage Pipeline::next_stage() const {
+  // Lint gates entry only: once the rare-net artifact exists (fresh run or
+  // resume), the design already passed the front door and lint never re-runs.
+  // A rejected design is pinned at the lint stage — run_lint keeps returning
+  // Rejected, so run_remaining() on a resumed rejected session reports the
+  // verdict instead of throwing.
+  if (config_.lint.enabled && !rare_done_ && (!lint_done_ || lint_rejected_))
+    return Stage::Lint;
   if (!rare_done_) return Stage::RareNets;
   if (!matrix_.has_value()) return Stage::Compatibility;
   if (history_.size() < effective_updates()) return Stage::Train;
@@ -73,8 +83,47 @@ StageStatus Pipeline::checkpoint(const StageControl& control,
 
 // ----------------------------------------------------------- stages --------
 
+StageStatus Pipeline::run_lint(const StageControl& control) {
+  if (lint_done_) return lint_rejected_ ? StageStatus::Rejected : StageStatus::Complete;
+  if (!config_.lint.enabled || rare_done_) {
+    // Disabled, or resuming past the front door — nothing to gate.
+    return StageStatus::Complete;
+  }
+  util::WatchdogScope watchdog(control.stage_timeout_seconds);
+  try {
+    DETERRENT_FAULT_POINT("pipeline.stage_boundary");
+    util::Stopwatch watch;
+    if (const auto status = checkpoint(
+            control, {Stage::Lint, 0, 1, "static DRC + trojan screen", 0.0, 0});
+        status != StageStatus::Complete)
+      return status;
+
+    lint_report_ = analysis::Linter(config_.lint).lint(*netlist_);
+    lint_rejected_ = lint_report_.rejects(config_.lint.fail_on);
+    lint_done_ = true;
+    if (lint_rejected_)
+      util::Log::warn("pipeline: lint rejected the design: ", lint_report_.summary());
+    else if (!lint_report_.diagnostics.empty())
+      util::Log::info("pipeline: lint passed with findings: ", lint_report_.summary());
+
+    checkpoint(control, {Stage::Lint, 1, 1, lint_report_.summary(),
+                         watch.elapsed_seconds(), 0});
+    return lint_rejected_ ? StageStatus::Rejected : StageStatus::Complete;
+  } catch (const TimeoutError&) {
+    // No verdict was stored, so the stage cleanly re-runs on resume.
+    return StageStatus::TimedOut;
+  }
+}
+
 StageStatus Pipeline::run_rare_nets(const StageControl& control) {
   if (rare_done_) return StageStatus::Complete;
+  // The lint front door: every fresh run passes through it, so legacy
+  // prepare() flows are covered without calling run_lint explicitly.
+  if (lint_rejected_)
+    throw PermanentError("Pipeline: design was rejected by lint (" +
+                         lint_report_.summary() + ")");
+  if (const auto status = run_lint(control); status != StageStatus::Complete)
+    return status;
   util::WatchdogScope watchdog(control.stage_timeout_seconds);
   try {
     DETERRENT_FAULT_POINT("pipeline.stage_boundary");
@@ -289,6 +338,7 @@ StageStatus Pipeline::run_remaining(const StageControl& control) {
   while (true) {
     StageStatus status = StageStatus::Complete;
     switch (next_stage()) {
+      case Stage::Lint: status = run_lint(control); break;
       case Stage::RareNets: status = run_rare_nets(control); break;
       case Stage::Compatibility: status = run_compatibility(control); break;
       case Stage::Train:
@@ -302,6 +352,16 @@ StageStatus Pipeline::run_remaining(const StageControl& control) {
 }
 
 // ---------------------------------------------------------- exports --------
+
+LintArtifact Pipeline::export_lint() const {
+  if (!lint_done_) throw PermanentError("Pipeline: lint stage has not run");
+  LintArtifact a;
+  a.netlist_fingerprint = fingerprint_;
+  a.fail_on = config_.lint.fail_on;
+  a.rejected = lint_rejected_;
+  a.report = lint_report_;
+  return a;
+}
 
 RareNetArtifact Pipeline::export_rare_nets() const {
   if (!rare_done_) throw PermanentError("Pipeline: rare-nets stage has not run");
@@ -349,6 +409,19 @@ PatternArtifact Pipeline::export_patterns() const {
 }
 
 // --------------------------------------------------------- adoption --------
+
+void Pipeline::adopt(LintArtifact artifact) {
+  if (lint_done_) throw PermanentError("Pipeline: lint stage already populated");
+  if (artifact.netlist_fingerprint != fingerprint_)
+    throw PermanentError("Pipeline: lint artifact belongs to a different netlist");
+  lint_report_ = std::move(artifact.report);
+  // Re-derive the verdict under the *current* config: adopting a report into
+  // a run with a stricter fail_on must not smuggle the design past the door,
+  // and resuming with lint disabled waives a stored rejection explicitly.
+  lint_rejected_ = config_.lint.enabled &&
+                   (artifact.rejected || lint_report_.rejects(config_.lint.fail_on));
+  lint_done_ = true;
+}
 
 void Pipeline::adopt(RareNetArtifact artifact) {
   if (rare_done_) throw PermanentError("Pipeline: rare-nets stage already populated");

@@ -12,14 +12,20 @@
 
 namespace deterrent::core {
 
-/// The explicit stages of the DETERRENT flow (Figure 4). Each stage consumes
-/// its predecessor's artifact and produces its own:
+/// The explicit stages of the DETERRENT flow (Figure 4) plus the lint front
+/// door. Each stage consumes its predecessor's artifact and produces its own:
 ///
+///   Lint          → LintArtifact           (stage 0: static DRC + trojan screen)
 ///   RareNets      → RareNetArtifact        (rareness filtering, step ❶)
 ///   Compatibility → CompatibilityArtifact  (offline pairwise phase)
 ///   Train         → PolicyArtifact         (PPO over the compatible-set MDP)
 ///   Extract       → PatternArtifact        (SAT pattern extraction, §3.5)
-enum class Stage { RareNets, Compatibility, Train, Extract, Done };
+///
+/// Lint is a gate, not a data dependency: later stages consume the netlist,
+/// not the lint report, so a resumed run whose rare-net artifact already
+/// exists skips the lint stage entirely (the verdict from the original run is
+/// carried by the session's lint sidecar artifact).
+enum class Stage { Lint, RareNets, Compatibility, Train, Extract, Done };
 
 const char* to_string(Stage stage);
 
@@ -60,8 +66,12 @@ struct StageControl {
 /// so the pipeline can be saved and resumed later. TimedOut means the stage
 /// watchdog abandoned hung work: on-disk checkpoints are untouched, but the
 /// in-memory train state may be mid-update (see Pipeline::poisoned) — resume
-/// from the session's artifacts rather than this object.
-enum class StageStatus { Complete, Cancelled, BudgetExhausted, TimedOut };
+/// from the session's artifacts rather than this object. Rejected is the lint
+/// front door's verdict: the design has findings at or above
+/// LintConfig::fail_on, no later stage will run, and retrying cannot help
+/// (the report travels in Pipeline::lint_report / the session's lint
+/// artifact).
+enum class StageStatus { Complete, Cancelled, BudgetExhausted, TimedOut, Rejected };
 
 const char* to_string(StageStatus status);
 
@@ -119,6 +129,13 @@ class Pipeline {
   // throws deterrent::Error. Re-running a completed offline stage is a no-op
   // returning Complete; run_train always trains `updates` more iterations.
 
+  /// Stage 0: static lint/DRC + trojan screen over the bound netlist.
+  /// Returns Rejected when the report trips LintConfig::fail_on — later
+  /// stages then refuse to run (PermanentError). A no-op returning Complete
+  /// when lint is disabled or already ran clean; re-running a rejected lint
+  /// returns Rejected again. run_rare_nets() invokes this implicitly, so
+  /// legacy prepare() flows get the front door for free.
+  StageStatus run_lint(const StageControl& control = {});
   StageStatus run_rare_nets(const StageControl& control = {});
   StageStatus run_compatibility(const StageControl& control = {});
   /// Runs `updates` PPO iterations (effective_updates() when 0), appending to
@@ -144,11 +161,13 @@ class Pipeline {
   // Save/load of the files themselves (envelope, version pinning, CRC) is
   // the artifact types' job: see core/artifacts.hpp and util/serialize.hpp.
 
+  LintArtifact export_lint() const;
   RareNetArtifact export_rare_nets() const;
   CompatibilityArtifact export_compatibility() const;
   PolicyArtifact export_policy() const;
   PatternArtifact export_patterns() const;
 
+  void adopt(LintArtifact artifact);
   void adopt(RareNetArtifact artifact);
   void adopt(CompatibilityArtifact artifact);
   void adopt(PolicyArtifact artifact);
@@ -156,6 +175,12 @@ class Pipeline {
 
   // ---- state accessors ----------------------------------------------------
 
+  /// True once the lint stage produced a verdict (ran here or was adopted).
+  bool lint_done() const { return lint_done_; }
+  /// True when the lint verdict was "reject" — later stages throw.
+  bool lint_rejected() const { return lint_rejected_; }
+  /// The lint stage's report (empty before lint_done()).
+  const analysis::LintReport& lint_report() const { return lint_report_; }
   bool rare_nets_done() const { return rare_done_; }
   bool compatibility_done() const { return matrix_.has_value(); }
   bool extract_done() const { return extract_done_; }
@@ -192,6 +217,10 @@ class Pipeline {
   const netlist::Netlist* netlist_;
   DeterrentConfig config_;
   std::uint64_t fingerprint_ = 0;
+
+  bool lint_done_ = false;
+  bool lint_rejected_ = false;
+  analysis::LintReport lint_report_;
 
   bool rare_done_ = false;
   std::vector<analysis::RareNet> rare_nets_;

@@ -26,6 +26,7 @@ std::string Session::path(const char* file) const {
 }
 
 bool Session::has_meta() const { return fs::exists(path(kMetaFile)); }
+bool Session::has_lint() const { return fs::exists(path(kLintFile)); }
 bool Session::has_rare_nets() const { return fs::exists(path(kRareFile)); }
 bool Session::has_compatibility() const { return fs::exists(path(kCompatFile)); }
 bool Session::has_policy() const { return fs::exists(path(kPolicyFile)); }
@@ -63,6 +64,10 @@ void Session::save(const Pipeline& pipeline) const {
   DETERRENT_ASSERT(pipeline.netlist_fingerprint() == fingerprint_,
                    "Session::save: pipeline is bound to a different netlist");
   if (!has_meta()) save_config(pipeline.config());
+  // The lint verdict is immutable once produced (the pipeline never re-lints
+  // a design that passed or was rejected), so write-once like rare/compat.
+  if (pipeline.lint_done() && !has_lint())
+    pipeline.export_lint().save(path(kLintFile));
   // Rare nets and the matrix are immutable once their stage completed (the
   // pipeline refuses to re-populate them), so an existing file is already
   // current — skipping the rewrite saves the O(n²)-bit matrix serialization
@@ -140,6 +145,13 @@ std::unique_ptr<Pipeline> Session::resume_or_init(const DeterrentConfig& fallbac
 
 std::unique_ptr<Pipeline> Session::resume_prefix(const DeterrentConfig& config) const {
   auto pipeline = std::make_unique<Pipeline>(*netlist_, config);
+  // Sidecar, not prefix: a bad lint file is quarantined, but the prefix
+  // continues — losing the stored warnings must not force an offline-phase
+  // rebuild (and a rejected verdict is re-derived by re-linting anyway).
+  if (has_lint())
+    load_or_quarantine(*this, kLintFile,
+                       [&] { pipeline->adopt(LintArtifact::load(path(kLintFile), fingerprint_)); },
+                       quarantined_);
   if (!has_rare_nets()) return pipeline;
   if (!load_or_quarantine(*this, kRareFile,
                           [&] { pipeline->adopt(RareNetArtifact::load(path(kRareFile), fingerprint_)); },

@@ -14,10 +14,16 @@ namespace deterrent::core {
 /// netlist fingerprint) plus one file per completed stage:
 ///
 ///   session.meta       DeterrentConfig + fingerprint
+///   lint.art           LintArtifact (front-door verdict sidecar)
 ///   rare_nets.art      RareNetArtifact
 ///   compatibility.art  CompatibilityArtifact
 ///   policy.art         PolicyArtifact (resumable training checkpoint)
 ///   patterns.art       PatternArtifact
+///
+/// lint.art is a *sidecar*, not a prefix member: later stages consume the
+/// netlist, not the lint report, so a quarantined or absent lint file never
+/// truncates the resume prefix — the warnings are simply lost and, on a run
+/// that has not passed the front door yet, lint re-runs.
 ///
 /// **Validation.** Every load is envelope-checked (magic, ArtifactKind,
 /// kArtifactFormatVersion, CRC) and fingerprint-checked against the bound
@@ -48,6 +54,7 @@ namespace deterrent::core {
 class Session {
  public:
   static constexpr const char* kMetaFile = "session.meta";
+  static constexpr const char* kLintFile = "lint.art";
   static constexpr const char* kRareFile = "rare_nets.art";
   static constexpr const char* kCompatFile = "compatibility.art";
   static constexpr const char* kPolicyFile = "policy.art";
@@ -62,6 +69,7 @@ class Session {
   std::uint64_t netlist_fingerprint() const { return fingerprint_; }
 
   bool has_meta() const;
+  bool has_lint() const;
   bool has_rare_nets() const;
   bool has_compatibility() const;
   bool has_policy() const;

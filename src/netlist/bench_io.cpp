@@ -26,8 +26,17 @@ std::string upper(std::string s) {
   return s;
 }
 
-[[noreturn]] void parse_fail(std::size_t line_no, const std::string& message) {
-  throw Error("bench parse error at line " + std::to_string(line_no) + ": " + message);
+/// Internal unwind token for one malformed line: carries the structured
+/// diagnostic so the strict front end can throw it as deterrent::Error and
+/// the checked front end can record it and keep parsing.
+struct LineFail {
+  ParseDiagnostic diagnostic;
+};
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& message,
+                             std::string code = "parse.syntax",
+                             std::string net = "") {
+  throw LineFail{{line_no, std::move(code), std::move(net), message}};
 }
 
 std::optional<GateType> cell_from_name(const std::string& word) {
@@ -48,22 +57,89 @@ std::optional<GateType> cell_from_name(const std::string& word) {
 
 class Parser {
  public:
+  /// Strict mode: throws deterrent::Error with a line number on the first
+  /// problem (the historical API contract).
   Netlist parse(std::istream& in) {
     std::string line;
     std::size_t line_no = 0;
-    while (std::getline(in, line)) {
-      ++line_no;
-      auto hash = line.find('#');
-      if (hash != std::string::npos) line.resize(hash);
-      line = strip(line);
-      if (line.empty()) continue;
-      parse_line(line, line_no);
+    while (next_line(in, line, line_no)) {
+      try {
+        parse_line(line, line_no);
+      } catch (const LineFail& fail) {
+        throw Error(strict_message(fail.diagnostic));
+      }
     }
     for (NetId out : pending_outputs_) builder_.mark_output(out);
     return builder_.build();
   }
 
+  /// Checked mode: never throws on malformed content; every problem in the
+  /// file becomes a diagnostic (a bad line is skipped, parsing continues) and
+  /// the netlist is built only when the source is fully clean.
+  BenchParseResult parse_checked(std::istream& in) {
+    BenchParseResult result;
+    std::string line;
+    std::size_t line_no = 0;
+    while (next_line(in, line, line_no)) {
+      if (builder_.net_count() >= kMaxCheckedNets) {
+        result.diagnostics.push_back(
+            {line_no, "parse.limit", "",
+             "net count exceeds the checked-parse cap of " +
+                 std::to_string(kMaxCheckedNets) + "; refusing to build"});
+        return result;
+      }
+      try {
+        parse_line(line, line_no);
+      } catch (const LineFail& fail) {
+        result.diagnostics.push_back(fail.diagnostic);
+      }
+    }
+    for (NetId out : pending_outputs_) builder_.mark_output(out);
+    for (const auto& issue : builder_.validate())
+      result.diagnostics.push_back(from_issue(issue));
+    if (result.diagnostics.empty()) result.netlist = builder_.build();
+    return result;
+  }
+
  private:
+  static bool next_line(std::istream& in, std::string& line, std::size_t& line_no) {
+    while (std::getline(in, line)) {
+      ++line_no;
+      auto hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      line = strip(line);
+      if (!line.empty()) return true;
+    }
+    return false;
+  }
+
+  static std::string strict_message(const ParseDiagnostic& diagnostic) {
+    return "bench parse error at line " + std::to_string(diagnostic.line) + ": " +
+           diagnostic.message;
+  }
+
+  ParseDiagnostic from_issue(const BuildIssue& issue) const {
+    ParseDiagnostic d;
+    d.net = builder_.name(issue.net);
+    d.message = issue.message;
+    switch (issue.kind) {
+      case BuildIssue::Kind::Undefined:
+        d.code = "drc.undriven";
+        break;
+      case BuildIssue::Kind::Arity:
+        d.code = "drc.arity";
+        break;
+      case BuildIssue::Kind::Cycle:
+        d.code = "drc.cycle";
+        break;
+      case BuildIssue::Kind::OutOfRangeFanin:
+        d.code = "parse.syntax";
+        break;
+    }
+    if (auto it = net_lines_.find(issue.net); it != net_lines_.end()) d.line = it->second;
+    return d;
+  }
+
   void parse_line(const std::string& line, std::size_t line_no) {
     auto eq = line.find('=');
     if (eq == std::string::npos) {
@@ -78,35 +154,49 @@ class Parser {
     auto close = rhs.rfind(')');
     if (open == std::string::npos || close == std::string::npos || close < open)
       parse_fail(line_no, "expected CELL(arg, ...) on right-hand side");
+    if (!strip(rhs.substr(close + 1)).empty())
+      parse_fail(line_no, "unexpected text after ')'");
 
     const std::string cell_name = strip(rhs.substr(0, open));
     auto cell = cell_from_name(cell_name);
-    if (!cell) parse_fail(line_no, "unknown cell '" + cell_name + "'");
+    if (!cell)
+      parse_fail(line_no, "unknown cell '" + cell_name + "'", "parse.cell", lhs);
 
     std::vector<NetId> fanins;
-    std::string args = rhs.substr(open + 1, close - open - 1);
-    std::stringstream ss(args);
-    std::string arg;
-    while (std::getline(ss, arg, ',')) {
-      arg = strip(arg);
-      if (arg.empty()) parse_fail(line_no, "empty argument in cell " + cell_name);
-      fanins.push_back(net_by_name(arg));
+    const std::string args = rhs.substr(open + 1, close - open - 1);
+    if (!strip(args).empty()) {
+      std::size_t start = 0;
+      while (true) {
+        const auto comma = args.find(',', start);
+        const std::string arg =
+            strip(comma == std::string::npos ? args.substr(start)
+                                             : args.substr(start, comma - start));
+        // An empty token means a doubled, leading, or trailing comma — the
+        // old stringstream splitter silently swallowed the trailing case.
+        if (arg.empty())
+          parse_fail(line_no, "empty argument in cell " + cell_name, "parse.syntax",
+                     lhs);
+        fanins.push_back(net_by_name(arg, line_no));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     }
 
-    NetId net = net_by_name(lhs);
-    try {
-      if (*cell == GateType::Dff) {
-        if (fanins.size() != 1) parse_fail(line_no, "DFF takes exactly one argument");
-        builder_.define_dff(net, fanins[0]);
-      } else if (*cell == GateType::Const0 || *cell == GateType::Const1) {
-        if (!fanins.empty()) parse_fail(line_no, "constants take no arguments");
-        builder_.define_gate(net, *cell, {});
-      } else {
-        builder_.define_gate(net, *cell, std::move(fanins));
-      }
-    } catch (const Error& e) {
-      parse_fail(line_no, e.what());
+    const NetId net = net_by_name(lhs, line_no);
+    check_single_driver(net, lhs, line_no);
+    if (*cell == GateType::Dff) {
+      if (fanins.size() != 1)
+        parse_fail(line_no, "DFF takes exactly one argument", "drc.arity", lhs);
+      builder_.define_dff(net, fanins[0]);
+    } else if (*cell == GateType::Const0 || *cell == GateType::Const1) {
+      if (!fanins.empty())
+        parse_fail(line_no, "constants take no arguments", "drc.arity", lhs);
+      builder_.define_gate(net, *cell, {});
+    } else {
+      builder_.define_gate(net, *cell, std::move(fanins));
     }
+    driver_lines_.emplace(net, line_no);
+    net_lines_[net] = line_no;
   }
 
   void parse_io_decl(const std::string& line, std::size_t line_no) {
@@ -114,33 +204,49 @@ class Parser {
     auto close = line.rfind(')');
     if (open == std::string::npos || close == std::string::npos || close < open)
       parse_fail(line_no, "expected INPUT(name) or OUTPUT(name)");
+    if (!strip(line.substr(close + 1)).empty())
+      parse_fail(line_no, "unexpected text after ')'");
     const std::string kind = upper(strip(line.substr(0, open)));
     const std::string net_name = strip(line.substr(open + 1, close - open - 1));
     if (net_name.empty()) parse_fail(line_no, "empty net name in " + kind);
     if (kind == "INPUT") {
-      NetId net = net_by_name(net_name);
-      try {
-        builder_.define_input(net);
-      } catch (const Error& e) {
-        parse_fail(line_no, e.what());
-      }
+      const NetId net = net_by_name(net_name, line_no);
+      check_single_driver(net, net_name, line_no);
+      builder_.define_input(net);
+      driver_lines_.emplace(net, line_no);
+      net_lines_[net] = line_no;
     } else if (kind == "OUTPUT") {
-      pending_outputs_.push_back(net_by_name(net_name));
+      pending_outputs_.push_back(net_by_name(net_name, line_no));
     } else {
       parse_fail(line_no, "unknown declaration '" + kind + "'");
     }
   }
 
-  NetId net_by_name(const std::string& net_name) {
+  /// A second INPUT/gate definition for the same net is a multi-driven net;
+  /// report it with the line of the first driver for provenance.
+  void check_single_driver(NetId net, const std::string& net_name,
+                           std::size_t line_no) {
+    auto it = driver_lines_.find(net);
+    if (it == driver_lines_.end()) return;
+    parse_fail(line_no,
+               "net '" + net_name + "' driven more than once (first driven at line " +
+                   std::to_string(it->second) + ")",
+               "drc.multi-driven", net_name);
+  }
+
+  NetId net_by_name(const std::string& net_name, std::size_t line_no) {
     auto it = by_name_.find(net_name);
     if (it != by_name_.end()) return it->second;
     NetId id = builder_.declare(net_name);
     by_name_.emplace(net_name, id);
+    net_lines_.emplace(id, line_no);  // first reference: undriven-net provenance
     return id;
   }
 
   NetlistBuilder builder_;
   std::unordered_map<std::string, NetId> by_name_;
+  std::unordered_map<NetId, std::size_t> driver_lines_;  // net -> defining line
+  std::unordered_map<NetId, std::size_t> net_lines_;     // net -> best-known line
   std::vector<NetId> pending_outputs_;
 };
 
@@ -181,6 +287,21 @@ Netlist read_bench_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw Error("cannot open bench file: " + path);
   return read_bench(in);
+}
+
+BenchParseResult read_bench_checked(std::istream& in) {
+  return Parser{}.parse_checked(in);
+}
+
+BenchParseResult read_bench_string_checked(const std::string& text) {
+  std::istringstream iss(text);
+  return read_bench_checked(iss);
+}
+
+BenchParseResult read_bench_file_checked(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open bench file: " + path);
+  return read_bench_checked(in);
 }
 
 void write_bench(const Netlist& netlist, std::ostream& out) {

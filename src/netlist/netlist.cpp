@@ -86,22 +86,145 @@ void NetlistBuilder::mark_output(NetId net) {
   outputs_.push_back(net);
 }
 
+const std::string& NetlistBuilder::name(NetId net) const {
+  static const std::string empty;
+  return net < names_.size() ? names_[net] : empty;
+}
+
+namespace {
+
+std::string issue_name(const std::vector<std::string>& names, NetId id) {
+  if (!names[id].empty()) return "'" + names[id] + "'";
+  return "#" + std::to_string(id);
+}
+
+}  // namespace
+
+std::vector<BuildIssue> NetlistBuilder::validate() const {
+  std::vector<BuildIssue> issues;
+  const std::size_t n = types_.size();
+
+  bool shape_ok = true;
+  for (NetId id = 0; id < n; ++id) {
+    if (types_[id] == kUndefined) {
+      issues.push_back({BuildIssue::Kind::Undefined, id,
+                        "net " + issue_name(names_, id) +
+                            " is used but never driven"});
+      shape_ok = false;
+      continue;
+    }
+    const FaninBounds bounds = fanin_bounds(types_[id]);
+    const std::size_t arity = fanins_[id].size();
+    if (arity < bounds.min || (bounds.max != 0 && arity > bounds.max)) {
+      issues.push_back({BuildIssue::Kind::Arity, id,
+                        "net " + issue_name(names_, id) + " has invalid fanin count " +
+                            std::to_string(arity) + " for " +
+                            std::string(to_string(types_[id]))});
+      shape_ok = false;
+    }
+    for (NetId f : fanins_[id]) {
+      if (f >= n) {
+        issues.push_back({BuildIssue::Kind::OutOfRangeFanin, id,
+                          "net " + issue_name(names_, id) +
+                              " has out-of-range fanin #" + std::to_string(f)});
+        shape_ok = false;
+      }
+    }
+  }
+  // Cycle membership is only meaningful on a fully-driven graph.
+  if (!shape_ok) return issues;
+
+  // Iterative Tarjan SCC over the combinational dependency graph (edges
+  // gate -> fanin; DFF data inputs cross a clock edge and are excluded).
+  // Every SCC with more than one net — or a gate feeding itself — is a
+  // combinational cycle; report one issue per SCC, anchored at its first net.
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NetId> scc_stack;
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    NetId v;
+    std::size_t child;
+  };
+  std::vector<Frame> dfs;
+
+  for (NetId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs.push_back({root, 0});
+    while (!dfs.empty()) {
+      Frame& fr = dfs.back();
+      const NetId v = fr.v;
+      if (fr.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        scc_stack.push_back(v);
+        on_stack[v] = true;
+      }
+      const bool comb = is_combinational_cell(types_[v]);
+      const std::size_t degree = comb ? fanins_[v].size() : 0;
+      if (fr.child < degree) {
+        const NetId w = fanins_[v][fr.child++];
+        if (index[w] == kUnvisited) {
+          dfs.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        std::vector<NetId> scc;
+        NetId w;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          scc.push_back(w);
+        } while (w != v);
+        const bool self_loop =
+            scc.size() == 1 && comb &&
+            std::find(fanins_[v].begin(), fanins_[v].end(), v) != fanins_[v].end();
+        if (scc.size() > 1 || self_loop) {
+          std::sort(scc.begin(), scc.end());
+          std::string path;
+          constexpr std::size_t kMaxListed = 8;
+          for (std::size_t i = 0; i < scc.size() && i < kMaxListed; ++i) {
+            if (i) path += " -> ";
+            path += issue_name(names_, scc[i]);
+          }
+          if (scc.size() > kMaxListed)
+            path += " -> ... (" + std::to_string(scc.size() - kMaxListed) + " more)";
+          issues.push_back({BuildIssue::Kind::Cycle, scc.front(),
+                            "combinational cycle through " +
+                                std::to_string(scc.size()) + " net" +
+                                (scc.size() == 1 ? "" : "s") + ": " + path});
+        }
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        Frame& parent = dfs.back();
+        lowlink[parent.v] = std::min(lowlink[parent.v], lowlink[v]);
+      }
+    }
+  }
+
+  std::sort(issues.begin(), issues.end(),
+            [](const BuildIssue& a, const BuildIssue& b) { return a.net < b.net; });
+  return issues;
+}
+
 Netlist NetlistBuilder::build() {
   const std::size_t n = types_.size();
 
-  // Full-definition and arity validation.
-  for (NetId id = 0; id < n; ++id) {
-    if (types_[id] == kUndefined)
-      throw Error("build: net '" + names_[id] + "' (#" + std::to_string(id) +
-                  ") was declared but never defined");
-    const FaninBounds bounds = fanin_bounds(types_[id]);
-    const std::size_t arity = fanins_[id].size();
-    if (arity < bounds.min || (bounds.max != 0 && arity > bounds.max))
-      throw Error("build: net '" + names_[id] + "' has invalid fanin count " +
-                  std::to_string(arity) + " for " + std::string(to_string(types_[id])));
-    for (NetId f : fanins_[id])
-      if (f >= n) throw Error("build: net '" + names_[id] + "' has out-of-range fanin");
-  }
+  // Full-definition and arity validation (structured, so callers that went
+  // through validate() first never pay twice for a malformed design: a clean
+  // validate() guarantees this throws nothing).
+  if (auto issues = validate(); !issues.empty())
+    throw Error("build: " + issues.front().message +
+                (issues.size() > 1
+                     ? " (+" + std::to_string(issues.size() - 1) + " more issues)"
+                     : ""));
 
   Netlist out;
   out.types_ = std::move(types_);

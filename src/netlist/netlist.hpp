@@ -82,6 +82,25 @@ class Netlist {
   unsigned max_level_ = 0;
 };
 
+/// One structural problem found by NetlistBuilder::validate(): the kind of
+/// violation, the offending net, and a human-readable message. Lets callers
+/// (the checked `.bench` parser, the linter front door) report every problem
+/// in a malformed design instead of the first-error throw build() performs.
+struct BuildIssue {
+  enum class Kind : std::uint8_t {
+    Undefined,       ///< declared but never given a driver
+    Arity,           ///< fanin count outside the cell's bounds
+    OutOfRangeFanin, ///< fanin references a net id that does not exist
+    Cycle,           ///< net participates in (or feeds from) a combinational cycle
+  };
+
+  Kind kind = Kind::Undefined;
+  NetId net = kNoNet;
+  std::string message;
+
+  bool operator==(const BuildIssue&) const = default;
+};
+
 /// Incremental netlist constructor.
 ///
 /// Supports forward references in two ways: `declare()` creates a net whose
@@ -110,6 +129,16 @@ class NetlistBuilder {
   void mark_output(NetId net);
 
   std::size_t net_count() const { return types_.size(); }
+
+  /// Name a net was declared with ("" when unnamed or out of range).
+  const std::string& name(NetId net) const;
+
+  /// Non-destructive structural check: reports every undefined net, arity
+  /// violation, out-of-range fanin, and combinational-cycle member (cycle
+  /// detection runs only when the graph is otherwise well-formed, since a
+  /// missing driver makes cycle membership meaningless). An empty result
+  /// guarantees build() succeeds.
+  std::vector<BuildIssue> validate() const;
 
   /// Validates and finalizes. Throws deterrent::Error on: undefined nets,
   /// dangling DFF data inputs, arity violations, out-of-range fanins, or a

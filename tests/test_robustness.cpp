@@ -242,10 +242,11 @@ TEST(Robustness, TornWriteIsQuarantinedOnResume) {
 
   for (const char* action : {"torn-truncate", "torn-flip"}) {
     TempDir dir(std::string("torn_") + action);
-    // Write #2 of a fresh session run is rare_nets.art (meta is #1): the
-    // file reaches its final name damaged, exactly like a power loss.
+    // Write #3 of a fresh session run is rare_nets.art (meta is #1, the
+    // lint sidecar #2): the file reaches its final name damaged, exactly
+    // like a power loss.
     util::faults::arm_from_string(std::string("serialize.write_artifact=") +
-                                  action + "@2");
+                                  action + "@3");
     run_to_completion(nl, dir.str(), cfg);
     util::faults::disarm_all();
     EXPECT_THROW(RareNetArtifact::load(dir.str(Session::kRareFile)), Error) << action;
