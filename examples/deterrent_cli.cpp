@@ -30,6 +30,9 @@
 //   --sat-inprocess <0|1>  solver inprocessing in the compatibility phase (default 1)
 //   --sat-portfolio <n>    clause-sharing solver clones for pair queries (default 0 = off)
 //   --sat-share-lbd <n>    max LBD of clauses exchanged between clones (default 6)
+//   --rollout-lanes <n>    lock-step PPO rollout lanes on one batched env
+//                          (default 1 = legacy scalar collector with 8
+//                          threaded workers; >1 forces n_workers = 1)
 //   --retries <n>          campaign per-circuit retries (default 2)
 //   --retry-backoff-ms <m> first retry backoff, doubles (default 50)
 //   --stage-timeout <s>    per-stage watchdog seconds   (default none)
@@ -46,6 +49,7 @@
 // 2 usage error, 1 unexpected exception. See docs/robustness.md.
 // `lint` (and any staged command whose front door rejects) exits 6 with the
 // offending diagnostics on stdout. See docs/lint.md.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -89,6 +93,7 @@ struct Args {
   std::size_t threads() const { return flag_size("--threads", 0); }
   bool sat_inprocess() const { return flag_size("--sat-inprocess", 1) != 0; }
   std::size_t sat_portfolio() const { return flag_size("--sat-portfolio", 0); }
+  std::size_t rollout_lanes() const { return flag_size("--rollout-lanes", 1); }
   std::uint32_t sat_share_lbd() const {
     return static_cast<std::uint32_t>(flag_size("--sat-share-lbd", 6));
   }
@@ -170,6 +175,10 @@ core::DeterrentConfig pipeline_config(const Args& args) {
   cfg.seed = args.seed();
   cfg.env.reward_mode = core::RewardMode::EndOfEpisode;
   cfg.ppo.n_workers = 8;
+  // Vectorized rollouts collect on one batched env; the two collectors own
+  // the same RNG streams, so lanes > 1 replaces the threaded workers.
+  cfg.ppo.rollout_lanes = std::max<std::size_t>(1, args.rollout_lanes());
+  if (cfg.ppo.rollout_lanes > 1) cfg.ppo.n_workers = 1;
   return cfg;
 }
 

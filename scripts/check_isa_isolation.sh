@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # ISA-isolation check for the SIMD kernel backends.
 #
-# The per-ISA TUs (src/sim/kernels/kernels_avx2.cpp, kernels_avx512.cpp) are
-# compiled with -mavx2 / -mavx512f, but their table factories are called on
-# EVERY host during ISA detection — before dispatch consults CPUID. The only
-# vector instructions those objects may contain must sit behind the
+# The per-ISA TUs (src/sim/kernels/kernels_avx2.cpp, kernels_avx512.cpp, and
+# the RL counterparts src/rl/mlp_kernels_avx2.cpp, mlp_kernels_avx512.cpp)
+# are compiled with -mavx2 / -mavx512f, but their table factories are called
+# on EVERY host during ISA detection — before dispatch consults CPUID. The
+# only vector instructions those objects may contain must sit behind the
 # KernelTable function pointers, which dispatch hands out only to capable
 # CPUs. This script disassembles the built objects and fails if that contract
 # regresses:
@@ -19,7 +20,7 @@
 set -euo pipefail
 
 build_dir="${1:-build}"
-obj_dir="$build_dir/CMakeFiles/deterrent.dir/src/sim/kernels"
+lib_dir="$build_dir/CMakeFiles/deterrent.dir/src"
 status=0
 checked=0
 located=0
@@ -33,8 +34,16 @@ for tool in objdump readelf; do
   fi
 done
 
-for isa in avx2 avx512; do
-  obj="$obj_dir/kernels_${isa}.cpp.o"
+# Each entry is "object path|demangled factory symbol": the sim engine
+# kernels and the RL MLP batch kernels follow the same hermetic-TU contract.
+for entry in \
+  "sim/kernels/kernels_avx2.cpp.o|deterrent::sim::kernels::avx2_table()" \
+  "sim/kernels/kernels_avx512.cpp.o|deterrent::sim::kernels::avx512_table()" \
+  "rl/mlp_kernels_avx2.cpp.o|deterrent::rl::kernels::mlp_avx2_table()" \
+  "rl/mlp_kernels_avx512.cpp.o|deterrent::rl::kernels::mlp_avx512_table()"; do
+  obj="$lib_dir/${entry%%|*}"
+  factory="${entry#*|}"
+  isa_flag=$(case "$obj" in *avx512*) echo avx512f;; *) echo avx2;; esac)
   if [ ! -f "$obj" ]; then
     echo "skip: $obj not found (backend not built)"
     continue
@@ -43,7 +52,7 @@ for isa in avx2 avx512; do
 
   if readelf -S "$obj" | grep -Eq '\.(init_array|ctors)'; then
     echo "FAIL: $obj has a static initializer section — code compiled with" \
-         "-m$isa would run at startup on every host"
+         "-m$isa_flag would run at startup on every host"
     status=1
   fi
 
@@ -53,33 +62,33 @@ for isa in avx2 avx512; do
   # fixed-string index(), not a regex — the "()" in the demangled name would
   # need escaping whose handling differs between mawk and gawk.
   mnemonics=$(objdump -d -C "$obj" |
-    awk -v sym="<deterrent::sim::kernels::${isa}_table()>:" \
+    awk -v sym="<${factory}>:" \
       'index($0, sym) {f=1; next} /^$/ {f=0} f' |
     awk -F'\t' 'NF >= 3 {split($3, m, " "); print m[1]}')
   if [ -z "$mnemonics" ]; then
-    echo "FAIL: could not locate ${isa}_table() in $obj"
+    echo "FAIL: could not locate ${factory} in $obj"
     status=1
     continue
   fi
   located=$((located + 1))
   if echo "$mnemonics" | grep -Eq '^v'; then
-    echo "FAIL: ${isa}_table() in $obj contains vector instructions:"
+    echo "FAIL: ${factory} in $obj contains vector instructions:"
     echo "$mnemonics" | grep -E '^v' | sort -u | sed 's/^/    /'
     echo "  (the factory runs before CPUID checks; its table must be constinit)"
     status=1
   else
-    echo "ok: ${isa}_table() is baseline-safe ($(echo "$mnemonics" | tr '\n' ' '))"
+    echo "ok: ${factory} is baseline-safe ($(echo "$mnemonics" | tr '\n' ' '))"
   fi
 done
 
 if [ "$checked" -eq 0 ]; then
-  echo "note: no x86 SIMD kernel objects found under $obj_dir (non-x86 build?)"
+  echo "note: no x86 SIMD kernel objects found under $lib_dir (non-x86 build?)"
 elif [ "$located" -eq 0 ]; then
   # Objects existed but no factory symbol was ever matched: the symbol name
   # drifted (rename, mangling change) and the check silently stopped seeing
   # the code it guards. Treat that as a failure, not a pass.
-  echo "FAIL: no <isa>_table() factory symbol matched in any checked object —" \
-       "update the symbol pattern in $0"
+  echo "FAIL: no factory symbol matched in any checked object —" \
+       "update the entry list in $0"
   status=1
 fi
 exit "$status"

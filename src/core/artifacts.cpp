@@ -233,6 +233,7 @@ void PolicyArtifact::save(const std::string& path) const {
   w.u64(trainer.value_opt.t);
   w.u64(trainer.rng_states.size());
   for (const auto& state : trainer.rng_states) write_rng_state(w, state);
+  w.u64(trainer.seed);
   w.u64(trainer.total_steps);
   w.u64(trainer.total_episodes);
   w.bitvec_vec(pool_sets);
@@ -263,6 +264,7 @@ PolicyArtifact PolicyArtifact::load(const std::string& path,
   a.trainer.rng_states.reserve(n_rngs);
   for (std::uint64_t i = 0; i < n_rngs; ++i)
     a.trainer.rng_states.push_back(read_rng_state(r));
+  a.trainer.seed = r.u64();
   a.trainer.total_steps = r.u64();
   a.trainer.total_episodes = r.u64();
   a.pool_sets = r.bitvec_vec();
@@ -352,6 +354,7 @@ void write_config(util::BinaryWriter& w, const DeterrentConfig& config) {
   w.u64(config.ppo.hidden_size);
   w.u64(config.ppo.hidden_layers);
   w.u64(config.ppo.n_workers);
+  w.u64(config.ppo.rollout_lanes);
   w.boolean(config.ppo.normalize_advantages);
   w.u64(config.updates);
   w.u64(config.k_patterns);
@@ -401,6 +404,7 @@ DeterrentConfig read_config(util::BinaryReader& r) {
   config.ppo.hidden_size = r.u64();
   config.ppo.hidden_layers = r.u64();
   config.ppo.n_workers = r.u64();
+  config.ppo.rollout_lanes = r.u64();
   config.ppo.normalize_advantages = r.boolean();
   config.updates = r.u64();
   config.k_patterns = r.u64();

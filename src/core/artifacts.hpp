@@ -72,8 +72,10 @@ enum class ArtifactKind : std::uint32_t {
 
 /// Bumped whenever any artifact payload layout changes; loaders reject other
 /// versions loudly instead of guessing. v3: session meta gained the
-/// LintConfig block; the lint verdict artifact was added.
-inline constexpr std::uint32_t kArtifactFormatVersion = 3;
+/// LintConfig block; the lint verdict artifact was added. v4: PpoConfig
+/// gained rollout_lanes and TrainerState gained the episode-stream seed
+/// (vectorized trainer with collector-independent episode RNG streams).
+inline constexpr std::uint32_t kArtifactFormatVersion = 4;
 
 /// Verdict of the lint front door (stage 0): the full diagnostic report plus
 /// the reject decision it produced under the run's fail_on severity. Saved as

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sat/encoder.hpp"
 #include "util/assert.hpp"
 
 namespace deterrent::core {
@@ -16,7 +17,7 @@ CompatibleSetEnv::CompatibleSetEnv(const netlist::Netlist& netlist,
       matrix_(&matrix),
       config_(config),
       pool_(pool),
-      oracle_(netlist),
+      oracle_(netlist, config.oracle),
       state_(rare_nets.size()),
       mask_(rare_nets.size()) {
   DETERRENT_ASSERT(matrix.size() == rare_nets_.size(),
@@ -24,6 +25,12 @@ CompatibleSetEnv::CompatibleSetEnv(const netlist::Netlist& netlist,
   DETERRENT_ASSERT(config_.witness_signatures == nullptr ||
                        config_.witness_signatures->size() == rare_nets_.size(),
                    "witness signature count / rare net count mismatch");
+  if (config_.oracle.inprocess) {
+    std::vector<netlist::NetId> query_nets;
+    query_nets.reserve(rare_nets_.size());
+    for (const auto& rn : rare_nets_) query_nets.push_back(rn.net);
+    oracle_.declare_query_nets(query_nets);
+  }
   max_steps_ = config_.max_steps != 0
                    ? config_.max_steps
                    : std::min<std::size_t>(rare_nets_.size(), 128);
@@ -245,6 +252,361 @@ rl::StepResult CompatibleSetEnv::step(std::uint32_t action) {
 
   result.observation = observation();
   return result;
+}
+
+// ------------------------------------------------------- vectorized lanes --
+
+CompatibleSetVectorEnv::CompatibleSetVectorEnv(
+    const netlist::Netlist& netlist, std::span<const analysis::RareNet> rare_nets,
+    const analysis::CompatibilityMatrix& matrix, const EnvConfig& config,
+    DistinctSetPool* pool, std::size_t lanes, SatBackend backend)
+    : netlist_(&netlist),
+      rare_nets_(rare_nets.begin(), rare_nets.end()),
+      matrix_(&matrix),
+      config_(config),
+      pool_(pool),
+      backend_(backend) {
+  DETERRENT_ASSERT(lanes >= 1, "CompatibleSetVectorEnv needs at least one lane");
+  DETERRENT_ASSERT(matrix.size() == rare_nets_.size(),
+                   "compatibility matrix / rare net size mismatch");
+  DETERRENT_ASSERT(config_.witness_signatures == nullptr ||
+                       config_.witness_signatures->size() == rare_nets_.size(),
+                   "witness signature count / rare net count mismatch");
+  max_steps_ = config_.max_steps != 0
+                   ? config_.max_steps
+                   : std::min<std::size_t>(rare_nets_.size(), 128);
+  lanes_.resize(lanes);
+  for (auto& lane : lanes_) {
+    lane.state = util::BitVec(rare_nets_.size());
+    lane.mask = util::BitVec(rare_nets_.size());
+    lane.obs.assign(rare_nets_.size(), 0.0f);
+  }
+  oracles_.resize(lanes);
+}
+
+float CompatibleSetVectorEnv::size_reward(std::size_t set_size) const {
+  if (config_.reward_exponent == 2.0) {
+    const auto s = static_cast<float>(set_size);
+    return s * s;
+  }
+  return static_cast<float>(
+      std::pow(static_cast<double>(set_size), config_.reward_exponent));
+}
+
+sat::NetlistOracle& CompatibleSetVectorEnv::lane_oracle(std::size_t lane) {
+  auto& oracle = oracles_[lane];
+  if (!oracle) {
+    oracle = std::make_unique<sat::NetlistOracle>(*netlist_, config_.oracle);
+    if (config_.oracle.inprocess) {
+      std::vector<netlist::NetId> query_nets;
+      query_nets.reserve(rare_nets_.size());
+      for (const auto& rn : rare_nets_) query_nets.push_back(rn.net);
+      oracle->declare_query_nets(query_nets);
+    }
+  }
+  return *oracle;
+}
+
+void CompatibleSetVectorEnv::rebuild_observation(Lane& lane) {
+  std::fill(lane.obs.begin(), lane.obs.end(), 0.0f);
+  for (const std::uint32_t m : lane.members) lane.obs[m] = 1.0f;
+}
+
+void CompatibleSetVectorEnv::reset_lane(std::size_t l, util::Rng& rng) {
+  DETERRENT_ASSERT(l < lanes_.size(), "CompatibleSetVectorEnv lane out of range");
+  Lane& lane = lanes_[l];
+  lane.state.clear_all();
+  lane.members.clear();
+  lane.steps = 0;
+  lane.open = true;
+  lane.done = false;
+  lane.reward = 0.0f;
+
+  // Same draw sequence as CompatibleSetEnv::reset — one below() against the
+  // viable-start list — so a lane and its scalar twin consume their RNG
+  // stream identically.
+  std::vector<std::uint32_t> viable;
+  viable.reserve(rare_nets_.size());
+  for (std::uint32_t i = 0; i < rare_nets_.size(); ++i)
+    if (matrix_->singleton_satisfiable(i)) viable.push_back(i);
+  DETERRENT_ASSERT(!viable.empty(), "no satisfiable rare net to start an episode");
+  const std::uint32_t start = viable[rng.below(viable.size())];
+  lane.state.set(start);
+  lane.members.push_back(start);
+  if (config_.witness_signatures != nullptr)
+    lane.witness = (*config_.witness_signatures)[start];
+
+  if (config_.mask_mode == MaskMode::Pairwise) {
+    lane.mask = matrix_->row(start);
+    lane.mask.set(start, false);
+  } else {
+    lane.mask.set_all();
+    lane.mask.set(start, false);
+    for (std::uint32_t i = 0; i < rare_nets_.size(); ++i)
+      if (!matrix_->singleton_satisfiable(i)) lane.mask.set(i, false);
+  }
+  rebuild_observation(lane);
+}
+
+bool CompatibleSetVectorEnv::pairwise_ok(const Lane& lane,
+                                         std::uint32_t action) const {
+  for (const std::uint32_t m : lane.members)
+    if (!matrix_->compatible(m, action)) return false;
+  return true;
+}
+
+void CompatibleSetVectorEnv::build_constraints(const Lane& lane,
+                                               std::uint32_t extra_action) {
+  scratch_constraints_.clear();
+  scratch_constraints_.reserve(lane.members.size() + 1);
+  for (const std::uint32_t m : lane.members)
+    scratch_constraints_.push_back({rare_nets_[m].net, rare_nets_[m].rare_value});
+  if (extra_action != static_cast<std::uint32_t>(-1))
+    scratch_constraints_.push_back(
+        {rare_nets_[extra_action].net, rare_nets_[extra_action].rare_value});
+}
+
+sat::Portfolio& CompatibleSetVectorEnv::shared_portfolio() {
+  if (!portfolio_) {
+    sat::PortfolioConfig pc;
+    pc.solvers = std::min<std::size_t>(lanes_.size(), 4);
+    portfolio_ = std::make_unique<sat::Portfolio>(
+        pc, [this](sat::Solver& solver, std::size_t) {
+          sat::encode_netlist(*netlist_, solver);
+          for (const netlist::NetId n : netlist_->inputs()) solver.set_frozen(n);
+          for (const auto& rn : rare_nets_) solver.set_frozen(rn.net);
+        });
+  }
+  return *portfolio_;
+}
+
+bool CompatibleSetVectorEnv::solve_joint(std::size_t lane,
+                                         std::span<const sat::Constraint> constraints) {
+  if (backend_ == SatBackend::PerLane)
+    return lane_oracle(lane)
+        .try_satisfiable(constraints, config_.sat_conflict_budget)
+        .value_or(false);
+  sat::Portfolio::Query query;
+  query.conflict_budget = config_.sat_conflict_budget;
+  for (const auto& c : constraints)
+    query.assumptions.push_back(sat::mk_lit(c.net, /*negated=*/!c.value));
+  ++portfolio_queries_;
+  const auto results = shared_portfolio().solve_batch({&query, 1});
+  return results[0] == sat::Solver::Result::Sat;
+}
+
+std::size_t CompatibleSetVectorEnv::longest_satisfiable_prefix(std::size_t l) {
+  // Mirrors CompatibleSetEnv::longest_satisfiable_prefix: binary search over
+  // the monotone prefix plus greedy repair, with the witness joint computed
+  // as whole-word BitVec ANDs over the shared signature table.
+  Lane& lane = lanes_[l];
+  const auto* sigs = config_.witness_signatures;
+  auto prefix_sat = [&](std::size_t len) {
+    if (sigs != nullptr) {
+      util::BitVec joint = (*sigs)[lane.members[0]];
+      for (std::size_t k = 1; k < len; ++k) joint &= (*sigs)[lane.members[k]];
+      if (joint.any()) {
+        ++witness_hits_;
+        return true;
+      }
+    }
+    scratch_constraints_.clear();
+    for (std::size_t k = 0; k < len; ++k) {
+      const auto& rn = rare_nets_[lane.members[k]];
+      scratch_constraints_.push_back({rn.net, rn.rare_value});
+    }
+    return solve_joint(l, scratch_constraints_);
+  };
+
+  std::size_t lo = 1;  // singleton start is satisfiable by construction
+  std::size_t hi = lane.members.size();
+  if (prefix_sat(hi)) return hi;
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (prefix_sat(mid))
+      lo = mid;
+    else
+      hi = mid;
+  }
+
+  std::vector<std::uint32_t> kept(
+      lane.members.begin(), lane.members.begin() + static_cast<std::ptrdiff_t>(lo));
+  util::BitVec joint;
+  if (sigs != nullptr) {
+    joint = (*sigs)[kept[0]];
+    for (std::size_t k = 1; k < kept.size(); ++k) joint &= (*sigs)[kept[k]];
+  }
+  std::vector<sat::Constraint> constraints;
+  for (const std::uint32_t m : kept)
+    constraints.push_back({rare_nets_[m].net, rare_nets_[m].rare_value});
+  std::size_t budget = config_.eoe_repair_budget;
+  for (std::size_t k = lo + 1; k < lane.members.size() && budget > 0; ++k, --budget) {
+    const auto& rn = rare_nets_[lane.members[k]];  // member lo broke the prefix
+    constraints.push_back({rn.net, rn.rare_value});
+    if (sigs != nullptr && joint.intersects((*sigs)[lane.members[k]])) {
+      ++witness_hits_;
+      joint &= (*sigs)[lane.members[k]];
+      kept.push_back(lane.members[k]);
+      continue;
+    }
+    if (solve_joint(l, constraints)) {
+      if (sigs != nullptr) joint &= (*sigs)[lane.members[k]];
+      kept.push_back(lane.members[k]);
+    } else {
+      constraints.pop_back();
+    }
+  }
+  lane.members = std::move(kept);
+  return lane.members.size();
+}
+
+void CompatibleSetVectorEnv::finish_lane(std::size_t l) {
+  Lane& lane = lanes_[l];
+  lane.open = false;
+  lane.done = true;
+  if (config_.reward_mode == RewardMode::EndOfEpisode) {
+    const std::size_t prefix = longest_satisfiable_prefix(l);
+    lane.members.resize(prefix);
+    util::BitVec verified(rare_nets_.size());
+    for (const std::uint32_t m : lane.members) verified.set(m);
+    lane.state = std::move(verified);
+    lane.reward = size_reward(prefix);
+    if (pool_ != nullptr) pool_->add(lane.state);
+    rebuild_observation(lane);
+  } else {
+    if (pool_ != nullptr) pool_->add(lane.state);
+  }
+}
+
+void CompatibleSetVectorEnv::step(std::span<const std::uint32_t> actions,
+                                  const util::BitVec& active) {
+  DETERRENT_ASSERT(actions.size() == lanes_.size() && active.size() == lanes_.size(),
+                   "CompatibleSetVectorEnv::step batch size mismatch");
+
+  const auto* sigs = config_.witness_signatures;
+  enum class Verdict : std::uint8_t { Reject, Accept, NeedSat };
+  // Small fixed-capacity per-step scratch; lanes() is bounded and the arrays
+  // reset every call.
+  std::vector<Verdict> verdicts(lanes_.size(), Verdict::Reject);
+  std::vector<std::size_t> pending;
+
+  // Phase 1 — per-lane screen + whole-word witness sweep across all active
+  // lanes (AllSteps only; EndOfEpisode admits on pairwise evidence alone).
+  for (std::size_t l = active.find_first(); l < lanes_.size();
+       l = active.find_next(l + 1)) {
+    Lane& lane = lanes_[l];
+    DETERRENT_ASSERT(lane.open && !lane.done,
+                     "CompatibleSetVectorEnv::step on a closed lane");
+    const std::uint32_t action = actions[l];
+    DETERRENT_ASSERT(action < rare_nets_.size(), "action out of range");
+    DETERRENT_ASSERT(lane.mask.test(action), "masked action chosen");
+    ++lane.steps;
+
+    if (config_.reward_mode == RewardMode::AllSteps) {
+      const bool screen_ok =
+          (config_.mask_mode == MaskMode::Pairwise || pairwise_ok(lane, action)) &&
+          !lane.state.test(action);
+      if (!screen_ok) {
+        verdicts[l] = Verdict::Reject;
+      } else if (sigs != nullptr &&
+                 lane.witness.intersects((*sigs)[action])) {
+        ++witness_hits_;
+        verdicts[l] = Verdict::Accept;
+      } else {
+        verdicts[l] = Verdict::NeedSat;
+        pending.push_back(l);
+      }
+    } else {
+      verdicts[l] = !lane.state.test(action) && pairwise_ok(lane, action)
+                        ? Verdict::Accept
+                        : Verdict::Reject;
+    }
+  }
+
+  // Phase 2 — batched SAT dispatch for the witness misses.
+  if (pending.size() > 1) ++batched_dispatches_;
+  if (backend_ == SatBackend::SharedPortfolio && !pending.empty()) {
+    // One portfolio batch answers the whole step.
+    std::vector<sat::Portfolio::Query> queries;
+    queries.reserve(pending.size());
+    for (const std::size_t l : pending) {
+      build_constraints(lanes_[l], actions[l]);
+      sat::Portfolio::Query q;
+      q.conflict_budget = config_.sat_conflict_budget;
+      for (const auto& c : scratch_constraints_)
+        q.assumptions.push_back(sat::mk_lit(c.net, /*negated=*/!c.value));
+      queries.push_back(std::move(q));
+    }
+    portfolio_queries_ += queries.size();
+    const auto results = shared_portfolio().solve_batch(queries);
+    for (std::size_t q = 0; q < pending.size(); ++q)
+      verdicts[pending[q]] = results[q] == sat::Solver::Result::Sat
+                                 ? Verdict::Accept
+                                 : Verdict::Reject;
+  } else {
+    for (const std::size_t l : pending) {
+      build_constraints(lanes_[l], actions[l]);
+      verdicts[l] =
+          solve_joint(l, scratch_constraints_) ? Verdict::Accept : Verdict::Reject;
+    }
+  }
+
+  // Phase 3 — apply transitions, rewards, terminations.
+  for (std::size_t l = active.find_first(); l < lanes_.size();
+       l = active.find_next(l + 1)) {
+    Lane& lane = lanes_[l];
+    const std::uint32_t action = actions[l];
+    const bool accepted = verdicts[l] == Verdict::Accept;
+
+    if (accepted) {
+      lane.state.set(action);
+      lane.members.push_back(action);
+      lane.obs[action] = 1.0f;
+      if (config_.reward_mode == RewardMode::AllSteps && sigs != nullptr)
+        lane.witness &= (*sigs)[action];
+      if (config_.mask_mode == MaskMode::Pairwise) lane.mask &= matrix_->row(action);
+      lane.mask.set(action, false);
+      lane.reward = config_.reward_mode == RewardMode::AllSteps
+                        ? size_reward(lane.members.size())
+                        : 0.0f;
+    } else {
+      lane.mask.set(action, false);
+      lane.reward = 0.0f;
+    }
+
+    const bool out_of_actions = lane.mask.none();
+    const bool out_of_steps = lane.steps >= max_steps_;
+    if (out_of_actions || out_of_steps)
+      finish_lane(l);  // may overwrite reward (EndOfEpisode terminal payout)
+  }
+}
+
+std::span<const float> CompatibleSetVectorEnv::observation(std::size_t lane) const {
+  return lanes_[lane].obs;
+}
+
+const util::BitVec& CompatibleSetVectorEnv::action_mask(std::size_t lane) const {
+  return lanes_[lane].mask;
+}
+
+float CompatibleSetVectorEnv::reward(std::size_t lane) const {
+  return lanes_[lane].reward;
+}
+
+bool CompatibleSetVectorEnv::done(std::size_t lane) const {
+  return lanes_[lane].done;
+}
+
+std::span<const std::uint32_t> CompatibleSetVectorEnv::members(
+    std::size_t lane) const {
+  return lanes_[lane].members;
+}
+
+std::uint64_t CompatibleSetVectorEnv::sat_queries() const {
+  std::uint64_t total = portfolio_queries_;
+  for (const auto& oracle : oracles_)
+    if (oracle) total += oracle->query_count();
+  return total;
 }
 
 }  // namespace deterrent::core

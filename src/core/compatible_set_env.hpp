@@ -2,12 +2,14 @@
 
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "analysis/compatibility.hpp"
 #include "analysis/rare_nets.hpp"
 #include "core/set_pool.hpp"
 #include "rl/env.hpp"
 #include "sat/oracle.hpp"
+#include "sat/portfolio.hpp"
 
 namespace deterrent::core {
 
@@ -63,6 +65,16 @@ struct EnvConfig {
   /// the witness-free env. Must outlive the env; one signature per rare net,
   /// all of equal pattern length.
   const std::vector<util::BitVec>* witness_signatures = nullptr;
+  /// Inprocessing policy for the env's SAT oracle(s). Off by default — the
+  /// untouched solver is the bit-reproducible reference. Opting in keeps
+  /// every Sat/Unsat verdict (the env declares the rare nets as the only
+  /// query nets, so elimination never removes a constrainable variable);
+  /// only budget-exhausted Unknown classifications can differ from the
+  /// default. Whether it pays is workload-dependent: the oracle amortizes
+  /// simplification over its query stream, so short-lived or many-oracle
+  /// setups (high lane counts) can spend more on the passes than they save —
+  /// measure before enabling.
+  sat::OracleConfig oracle;
 };
 
 /// The DETERRENT Markov decision process (§3.1):
@@ -129,6 +141,110 @@ class CompatibleSetEnv final : public rl::Env {
   std::vector<sat::Constraint> scratch_constraints_;
   util::BitVec witness_;  // running AND of member signatures (AllSteps mode)
   std::uint64_t witness_hits_ = 0;
+};
+
+/// Lock-step batch of N CompatibleSetEnv lanes sharing one copy of the rare
+/// nets, compatibility matrix, witness signatures, and DistinctSetPool.
+///
+/// Per step() the lanes run in three phases: a per-lane screen (membership +
+/// pairwise matrix), a whole-word witness sweep (`util::BitVec` AND /
+/// intersect over the shared signature table — one pass across all active
+/// lanes), and a batched SAT dispatch for the lanes the witness could not
+/// answer. Episode-final sets funnel into the shared pool exactly as the
+/// scalar env's do.
+///
+/// Determinism contract: with SatBackend::PerLane (the default), lane l's
+/// trajectory is bit-identical to a standalone CompatibleSetEnv fed the same
+/// RNG stream and actions — each lane owns a private, lazily-built oracle
+/// whose learnt-clause state evolves exactly as its scalar twin's, so even
+/// conflict-budget-exhausted Unknowns classify identically. The pool is a
+/// content-keyed set, so interleaved lane completion order cannot leak into
+/// artifacts.
+class CompatibleSetVectorEnv final : public rl::VectorEnv {
+ public:
+  /// How joint-satisfiability checks that miss the witness reach a solver.
+  enum class SatBackend {
+    /// One lazily-constructed NetlistOracle per lane; the step's pending
+    /// queries are dispatched as a batch over the lane oracles. Bit-identical
+    /// to N scalar envs under any conflict budget.
+    PerLane,
+    /// One shared clause-sharing sat::Portfolio answers each step's query
+    /// batch via solve_batch(). Sat/Unsat answers match PerLane; only
+    /// budget-exhausted Unknown classifications may differ (learnt clauses
+    /// accumulate across lanes). Cheaper on memory at high lane counts.
+    SharedPortfolio,
+  };
+
+  CompatibleSetVectorEnv(const netlist::Netlist& netlist,
+                         std::span<const analysis::RareNet> rare_nets,
+                         const analysis::CompatibilityMatrix& matrix,
+                         const EnvConfig& config, DistinctSetPool* pool,
+                         std::size_t lanes,
+                         SatBackend backend = SatBackend::PerLane);
+
+  std::size_t lanes() const override { return lanes_.size(); }
+  std::size_t observation_size() const override { return rare_nets_.size(); }
+  std::size_t action_count() const override { return rare_nets_.size(); }
+  void reset_lane(std::size_t lane, util::Rng& rng) override;
+  void step(std::span<const std::uint32_t> actions,
+            const util::BitVec& active) override;
+  std::span<const float> observation(std::size_t lane) const override;
+  const util::BitVec& action_mask(std::size_t lane) const override;
+  float reward(std::size_t lane) const override;
+  bool done(std::size_t lane) const override;
+
+  /// Members of `lane`'s current set in insertion order.
+  std::span<const std::uint32_t> members(std::size_t lane) const;
+
+  /// Total SAT queries across all lanes (Table 1's cost driver).
+  std::uint64_t sat_queries() const;
+
+  /// Joint checks answered by the witness sweep instead of a SAT call.
+  std::uint64_t witness_hits() const { return witness_hits_; }
+
+  /// step() calls that dispatched more than one SAT query at once.
+  std::uint64_t batched_sat_dispatches() const { return batched_dispatches_; }
+
+ private:
+  struct Lane {
+    util::BitVec state;                 // membership bitset
+    util::BitVec mask;                  // valid actions
+    util::BitVec witness;               // running AND of member signatures
+    std::vector<std::uint32_t> members; // insertion order
+    std::vector<float> obs;             // dense observation, kept incrementally
+    float reward = 0.0f;
+    std::size_t steps = 0;
+    bool done = true;                   // unfrozen only by reset_lane()
+    bool open = false;
+  };
+
+  float size_reward(std::size_t set_size) const;
+  bool pairwise_ok(const Lane& lane, std::uint32_t action) const;
+  sat::NetlistOracle& lane_oracle(std::size_t lane);
+  sat::Portfolio& shared_portfolio();
+  void build_constraints(const Lane& lane, std::uint32_t extra_action);
+  /// Answers "are these constraints jointly satisfiable" through the
+  /// configured backend; exhausted budgets report false (conservative).
+  bool solve_joint(std::size_t lane, std::span<const sat::Constraint> constraints);
+  std::size_t longest_satisfiable_prefix(std::size_t lane);
+  void finish_lane(std::size_t lane);
+  void rebuild_observation(Lane& lane);
+
+  const netlist::Netlist* netlist_;
+  std::vector<analysis::RareNet> rare_nets_;
+  const analysis::CompatibilityMatrix* matrix_;
+  EnvConfig config_;
+  DistinctSetPool* pool_;
+  SatBackend backend_;
+  std::size_t max_steps_ = 0;
+
+  std::vector<Lane> lanes_;
+  std::vector<std::unique_ptr<sat::NetlistOracle>> oracles_;  // PerLane, lazy
+  std::unique_ptr<sat::Portfolio> portfolio_;                 // SharedPortfolio, lazy
+  std::vector<sat::Constraint> scratch_constraints_;
+  std::uint64_t portfolio_queries_ = 0;
+  std::uint64_t witness_hits_ = 0;
+  std::uint64_t batched_dispatches_ = 0;
 };
 
 }  // namespace deterrent::core

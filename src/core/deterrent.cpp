@@ -47,4 +47,8 @@ sim::PatternSet Deterrent::run() {
   return extract_patterns();
 }
 
+std::uint64_t Deterrent::train_sat_queries() const {
+  return pipeline_->train_sat_queries();
+}
+
 }  // namespace deterrent::core

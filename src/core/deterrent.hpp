@@ -74,6 +74,10 @@ class Deterrent {
     return pipeline_->extracted_sets();
   }
 
+  /// Cumulative SAT queries issued by the training environments — works for
+  /// both the scalar per-worker envs and the vectorized lane batch.
+  std::uint64_t train_sat_queries() const;
+
   /// The staged pipeline behind this facade — for artifact export, session
   /// persistence, or progress-controlled stage runs on a live object.
   Pipeline& pipeline() { return *pipeline_; }

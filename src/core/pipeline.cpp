@@ -191,14 +191,26 @@ StageStatus Pipeline::run_compatibility(const StageControl& control) {
 
 void Pipeline::ensure_trainer() {
   if (trainer_) return;
-  auto factory = [this](std::size_t /*worker*/) -> std::unique_ptr<rl::Env> {
+  const auto env_config = [this] {
     EnvConfig env_config = config_.env;
     if (env_config.witness_signatures == nullptr && !witness_signatures_.empty())
       env_config.witness_signatures = &witness_signatures_;
-    return std::make_unique<CompatibleSetEnv>(*netlist_, rare_nets_, *matrix_,
-                                              env_config, &pool_);
+    return env_config;
   };
-  trainer_ = std::make_unique<rl::PpoTrainer>(factory, config_.ppo, config_.seed);
+  auto factory = [this, env_config](std::size_t /*worker*/) -> std::unique_ptr<rl::Env> {
+    return std::make_unique<CompatibleSetEnv>(*netlist_, rare_nets_, *matrix_,
+                                              env_config(), &pool_);
+  };
+  // rollout_lanes > 1 swaps the scalar per-worker envs for one batched
+  // CompatibleSetVectorEnv; lane l draws the RNG stream worker l would have,
+  // so artifacts and resume points stay bit-identical across the two layouts.
+  auto vector_factory =
+      [this, env_config](std::size_t lanes) -> std::unique_ptr<rl::VectorEnv> {
+    return std::make_unique<CompatibleSetVectorEnv>(*netlist_, rare_nets_, *matrix_,
+                                                    env_config(), &pool_, lanes);
+  };
+  trainer_ = std::make_unique<rl::PpoTrainer>(factory, config_.ppo, config_.seed,
+                                              vector_factory);
   if (pending_trainer_state_.has_value()) {
     trainer_->restore(*pending_trainer_state_);
     pending_trainer_state_.reset();
@@ -211,6 +223,9 @@ std::uint64_t Pipeline::train_sat_queries() const {
     for (const auto& env : trainer_->envs())
       if (const auto* cse = dynamic_cast<const CompatibleSetEnv*>(env.get()))
         total += cse->sat_queries();
+    if (const auto* vec =
+            dynamic_cast<const CompatibleSetVectorEnv*>(trainer_->vector_env()))
+      total += vec->sat_queries();
   }
   return total;
 }

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rl/mlp_kernels.hpp"
 #include "util/assert.hpp"
 
 namespace deterrent::rl {
 
 Adam::Adam(std::vector<ParamRef> params, const AdamConfig& config)
-    : params_(std::move(params)), config_(config) {
+    : params_(std::move(params)),
+      config_(config),
+      kernels_(&kernels::select_mlp_kernels()) {
   m_.reserve(params_.size());
   v_.reserve(params_.size());
   for (const auto& p : params_) {
@@ -33,22 +36,21 @@ void Adam::step(float max_grad_norm) {
   }
 
   ++t_;
-  const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
-  const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  const kernels::MlpKernelTable::AdamArgs args{
+      scale,
+      config_.beta1,
+      config_.beta2,
+      config_.lr,
+      config_.eps,
+      1.0 - std::pow(config_.beta1, static_cast<double>(t_)),
+      1.0 - std::pow(config_.beta2, static_cast<double>(t_))};
 
+  // The update is elementwise, so it dispatches to the widest bit-identical
+  // kernel backend (scalar reference in mlp_kernels.cpp).
   for (std::size_t k = 0; k < params_.size(); ++k) {
     auto& p = params_[k];
-    auto& m = m_[k];
-    auto& v = v_[k];
-    for (std::size_t i = 0; i < p.size; ++i) {
-      const float g = p.grads[i] * scale;
-      m[i] = config_.beta1 * m[i] + (1.0f - config_.beta1) * g;
-      v[i] = config_.beta2 * v[i] + (1.0f - config_.beta2) * g * g;
-      const double m_hat = m[i] / bias1;
-      const double v_hat = v[i] / bias2;
-      p.values[i] -=
-          static_cast<float>(config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps));
-    }
+    kernels_->adam_step(p.values, m_[k].data(), v_[k].data(), p.grads, p.size,
+                        args);
   }
 }
 

@@ -51,6 +51,9 @@ class Adam {
   std::vector<std::vector<float>> m_;
   std::vector<std::vector<float>> v_;
   std::uint64_t t_ = 0;
+  /// Elementwise-update kernel backend (same table as the MLP batch passes;
+  /// every backend is bit-identical, see mlp_kernel_table.hpp).
+  const kernels::MlpKernelTable* kernels_;
 };
 
 }  // namespace deterrent::rl

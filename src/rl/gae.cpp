@@ -11,6 +11,11 @@ GaeResult compute_gae(std::span<const float> rewards, std::span<const float> val
   DETERRENT_ASSERT(rewards.size() == values.size(), "GAE input size mismatch");
   const std::size_t n = rewards.size();
   GaeResult result;
+  // Zero-length episodes are legal input: a rollout can emit one when an env
+  // resets straight into an exhausted action mask (or max_steps races a
+  // terminal first step). Empty in, empty out — callers must not have to
+  // pre-filter.
+  if (n == 0) return result;
   result.advantages.assign(n, 0.0f);
   result.returns.assign(n, 0.0f);
 

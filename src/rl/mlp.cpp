@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rl/mlp_kernels.hpp"
 #include "util/assert.hpp"
 
 namespace deterrent::rl {
 
 Mlp::Mlp(std::vector<std::size_t> layer_sizes, util::Rng& rng)
-    : layer_sizes_(std::move(layer_sizes)) {
+    : layer_sizes_(std::move(layer_sizes)),
+      kernels_(&kernels::select_mlp_kernels()) {
   DETERRENT_ASSERT(layer_sizes_.size() >= 2, "Mlp needs at least input and output");
   layers_.resize(layer_sizes_.size() - 1);
   for (std::size_t l = 0; l < layers_.size(); ++l) {
@@ -84,6 +86,191 @@ void Mlp::backward(std::span<const float> input, const Workspace& ws,
       grad = std::move(prev_grad);
     }
   }
+}
+
+template <typename RowPtrFn>
+std::span<const float> Mlp::forward_batch_impl(RowPtrFn row_ptr, std::size_t rows,
+                                               BatchWorkspace& ws) const {
+  constexpr std::size_t kTile = kernels::kMlpLanes;
+  DETERRENT_ASSERT(rows > 0, "Mlp::forward_batch needs at least one row");
+  ws.rows = rows;
+  ws.post.resize(layers_.size());
+
+  const float* x = nullptr;  // layers > 0 read the previous contiguous post
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& layer = layers_[l];
+    auto& out = ws.post[l];
+    out.resize(rows * layer.out);
+    ws.scratch.resize(kTile * layer.in);
+    float* xt = ws.scratch.data();
+    // Only the first layer sees the raw observations, which in this MDP are
+    // mostly-zero indicator vectors — worth the nonzero-column bookkeeping.
+    const bool sparse = l == 0;
+    if (sparse) {
+      ws.nz.resize(layer.in);
+      ws.cols.reserve(layer.in);
+    }
+    for (std::size_t n0 = 0; n0 < rows; n0 += kTile) {
+      const std::size_t tn = std::min(kTile, rows - n0);
+      // Transpose the row tile to lane-major so the hot loop reads both the
+      // weight row and the input lanes with unit stride.
+      if (tn < kTile) std::fill(ws.scratch.begin(), ws.scratch.end(), 0.0f);
+      if (sparse) {
+        std::fill(ws.nz.begin(), ws.nz.end(), static_cast<unsigned char>(0));
+        for (std::size_t n = 0; n < tn; ++n) {
+          const float* xr = row_ptr(n0 + n);
+          for (std::size_t i = 0; i < layer.in; ++i) {
+            const float v = xr[i];
+            xt[i * kTile + n] = v;
+            if (v != 0.0f) ws.nz[i] = 1;
+          }
+        }
+        ws.cols.clear();
+        for (std::size_t i = 0; i < layer.in; ++i)
+          if (ws.nz[i] != 0) ws.cols.push_back(static_cast<std::uint32_t>(i));
+      } else {
+        for (std::size_t n = 0; n < tn; ++n)
+          for (std::size_t i = 0; i < layer.in; ++i)
+            xt[i * kTile + n] = x[(n0 + n) * layer.in + i];
+      }
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        const float* wrow = layer.w.data() + o * layer.in;
+        float acc[kernels::kMlpLanes];
+        if (sparse)
+          kernels_->matvec_cols(wrow, xt, ws.cols.data(), ws.cols.size(),
+                                layer.b[o], acc);
+        else
+          kernels_->matvec_dense(wrow, xt, layer.in, layer.b[o], acc);
+        for (std::size_t n = 0; n < tn; ++n) out[(n0 + n) * layer.out + o] = acc[n];
+      }
+    }
+    if (l + 1 < layers_.size())
+      for (auto& v : out) v = std::tanh(v);
+    x = out.data();
+  }
+  return ws.post.back();
+}
+
+std::span<const float> Mlp::forward_batch(std::span<const float> input,
+                                          std::size_t rows,
+                                          BatchWorkspace& ws) const {
+  DETERRENT_ASSERT(input.size() == rows * input_size(),
+                   "Mlp::forward_batch input size mismatch");
+  const std::size_t in = input_size();
+  const float* base = input.data();
+  return forward_batch_impl([base, in](std::size_t n) { return base + n * in; },
+                            rows, ws);
+}
+
+std::span<const float> Mlp::forward_batch(const float* const* row_ptrs,
+                                          std::size_t rows,
+                                          BatchWorkspace& ws) const {
+  return forward_batch_impl([row_ptrs](std::size_t n) { return row_ptrs[n]; },
+                            rows, ws);
+}
+
+template <typename RowPtrFn>
+void Mlp::backward_batch_impl(RowPtrFn row_ptr, const BatchWorkspace& ws,
+                              std::span<const float> output_grads) {
+  constexpr std::size_t kTile = kernels::kMlpLanes;
+  const std::size_t rows = ws.rows;
+  DETERRENT_ASSERT(rows > 0 && ws.post.size() == layers_.size(),
+                   "Mlp::backward_batch workspace/layer mismatch");
+  DETERRENT_ASSERT(output_grads.size() == rows * output_size(),
+                   "Mlp::backward_batch output grad size mismatch");
+
+  std::vector<float> grad(output_grads.begin(), output_grads.end());
+  std::vector<float> prev_grad;
+  std::vector<std::uint32_t> x_nz;      // layer-0 per-row nonzero columns
+  std::vector<std::uint32_t> x_nz_off;  // row n owns x_nz[off[n], off[n+1])
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    auto& layer = layers_[l];
+    const float* x_base = l == 0 ? nullptr : ws.post[l - 1].data();
+
+    // Pass 1 — weight/bias gradients. Row tiles keep the x working set
+    // L1-resident while each weight-gradient row streams through once per
+    // tile. Per gradient element the accumulation order stays ascending in
+    // row index (tiles and rows within a tile both ascend), matching
+    // row-by-row backward().
+    //
+    // The first layer sees the raw mostly-zero observations, so it walks a
+    // per-row nonzero list instead of the dense row. Exact: a skipped term
+    // is g·(±0) = ±0, and adding a signed zero to a gw accumulator never
+    // changes it — gw starts at +0 (zero_grad) and IEEE round-to-nearest
+    // keeps zero sums at +0 ((+0) + (−0) = +0; nonzero terms that cancel
+    // round to +0), so the accumulator never holds −0.0f for a signed zero
+    // to flip.
+    const bool sparse = l == 0;
+    if (sparse) {
+      x_nz.clear();
+      x_nz_off.resize(rows + 1);
+      for (std::size_t n = 0; n < rows; ++n) {
+        x_nz_off[n] = static_cast<std::uint32_t>(x_nz.size());
+        const float* xr = row_ptr(n);
+        for (std::size_t i = 0; i < layer.in; ++i)
+          if (xr[i] != 0.0f) x_nz.push_back(static_cast<std::uint32_t>(i));
+      }
+      x_nz_off[rows] = static_cast<std::uint32_t>(x_nz.size());
+    }
+    for (std::size_t n0 = 0; n0 < rows; n0 += kTile) {
+      const std::size_t tn = std::min(kTile, rows - n0);
+      for (std::size_t o = 0; o < layer.out; ++o) {
+        float* gw_row = layer.gw.data() + o * layer.in;
+        for (std::size_t n = n0; n < n0 + tn; ++n) {
+          const float g = grad[n * layer.out + o];
+          if (g == 0.0f) continue;
+          const float* xr = sparse ? row_ptr(n) : x_base + n * layer.in;
+          if (sparse) {
+            for (std::uint32_t j = x_nz_off[n]; j < x_nz_off[n + 1]; ++j) {
+              const std::uint32_t i = x_nz[j];
+              gw_row[i] += g * xr[i];
+            }
+          } else {
+            kernels_->axpy(g, xr, gw_row, layer.in);
+          }
+          layer.gb[o] += g;
+        }
+      }
+    }
+
+    // Pass 2 — input gradients, chained through the previous layer's tanh.
+    // Per element the terms accumulate in ascending output index, exactly
+    // like backward(). The first layer has no upstream to feed, so the pass
+    // is skipped there (backward() computes and discards it).
+    if (l > 0) {
+      prev_grad.assign(rows * layer.in, 0.0f);
+      const float* post = ws.post[l - 1].data();
+      for (std::size_t n = 0; n < rows; ++n) {
+        float* pg = prev_grad.data() + n * layer.in;
+        for (std::size_t o = 0; o < layer.out; ++o) {
+          const float g = grad[n * layer.out + o];
+          if (g == 0.0f) continue;
+          kernels_->axpy(g, layer.w.data() + o * layer.in, pg, layer.in);
+        }
+        const float* pr = post + n * layer.in;
+        for (std::size_t i = 0; i < layer.in; ++i)
+          pg[i] *= 1.0f - pr[i] * pr[i];
+      }
+      grad = std::move(prev_grad);
+      prev_grad.clear();
+    }
+  }
+}
+
+void Mlp::backward_batch(std::span<const float> input, const BatchWorkspace& ws,
+                         std::span<const float> output_grads) {
+  DETERRENT_ASSERT(input.size() == ws.rows * input_size(),
+                   "Mlp::backward_batch input size mismatch");
+  const std::size_t in = input_size();
+  const float* base = input.data();
+  backward_batch_impl([base, in](std::size_t n) { return base + n * in; }, ws,
+                      output_grads);
+}
+
+void Mlp::backward_batch(const float* const* row_ptrs, const BatchWorkspace& ws,
+                         std::span<const float> output_grads) {
+  backward_batch_impl([row_ptrs](std::size_t n) { return row_ptrs[n]; }, ws,
+                      output_grads);
 }
 
 void Mlp::zero_grad() {

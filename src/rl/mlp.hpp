@@ -8,6 +8,10 @@
 
 namespace deterrent::rl {
 
+namespace kernels {
+struct MlpKernelTable;
+}  // namespace kernels
+
 /// View over one parameter tensor and its gradient accumulator. The Adam
 /// optimizer consumes a flat list of these.
 struct ParamRef {
@@ -45,6 +49,59 @@ class Mlp {
   void backward(std::span<const float> input, const Workspace& ws,
                 std::span<const float> output_grad);
 
+  /// Activation cache for a whole row batch (forward_batch / backward_batch).
+  struct BatchWorkspace {
+    std::size_t rows = 0;
+    std::vector<std::vector<float>> post;  ///< per layer: rows × out, row-major
+    std::vector<float> scratch;            ///< transposed input tile
+    std::vector<unsigned char> nz;         ///< layer-0 tile: column has a nonzero
+    std::vector<std::uint32_t> cols;       ///< layer-0 tile: nonzero column list
+  };
+
+  /// Computes outputs for `rows` stacked observations (row-major, rows ×
+  /// input_size) in one matrix–matrix pass. Row r of the returned rows ×
+  /// output_size span is bit-identical to forward() on that row alone: every
+  /// output element is the same ascending-index accumulation chain, only the
+  /// loop nest is tiled so the weight matrix is streamed once per row tile
+  /// instead of once per row, and the inner products run on the widest
+  /// SIMD kernel backend the host supports (mlp_kernels.hpp — all backends
+  /// bit-identical, no FMA contraction). Input columns that are zero across
+  /// the whole tile are skipped in the first layer: each skipped term is a
+  /// signed zero added to an accumulator that can never hold -0.0f (biases
+  /// start at +0 and IEEE round-to-nearest addition of nonzero terms cannot
+  /// produce -0), so the skip is exact — and on this MDP's mostly-zero
+  /// indicator observations it removes most of the layer-0 work.
+  /// Thread-safe.
+  std::span<const float> forward_batch(std::span<const float> input,
+                                       std::size_t rows, BatchWorkspace& ws) const;
+
+  /// Row-pointer variant: row r's observation lives at row_ptrs[r] (each
+  /// input_size() floats). Bit-identical to gathering the rows into one
+  /// contiguous buffer and calling the span overload — the batched trainer
+  /// feeds shuffled minibatch rows and per-lane observations directly,
+  /// skipping that gather copy. Thread-safe.
+  std::span<const float> forward_batch(const float* const* row_ptrs,
+                                       std::size_t rows, BatchWorkspace& ws) const;
+
+  /// Batch counterpart of backward(): accumulates parameter gradients for the
+  /// row-major rows × output_grads given the workspace and input of the
+  /// matching forward_batch(). Two exact passes per layer: weight/bias
+  /// gradients (rows ascending per parameter element, matching row-by-row
+  /// backward()), then the input gradients (terms ascending in output index
+  /// per element, also matching) — skipped entirely for the first layer,
+  /// where backward() computes and discards them. The first layer's
+  /// weight-gradient pass walks per-row nonzero column lists of the
+  /// mostly-zero observations; skipping a g·(±0) term is exact because a
+  /// gradient accumulator never holds −0.0f (it starts at +0 and
+  /// round-to-nearest keeps every zero-valued sum at +0).
+  void backward_batch(std::span<const float> input, const BatchWorkspace& ws,
+                      std::span<const float> output_grads);
+
+  /// Row-pointer variant of backward_batch(); pass the same row pointers as
+  /// the matching forward_batch() call.
+  void backward_batch(const float* const* row_ptrs, const BatchWorkspace& ws,
+                      std::span<const float> output_grads);
+
   void zero_grad();
 
   /// Flat parameter/gradient views for the optimizer.
@@ -67,6 +124,15 @@ class Mlp {
   void set_flat_params(std::span<const float> flat);
 
  private:
+  /// Shared implementations of the batched passes over a row accessor
+  /// (contiguous span or scattered row pointers); instantiated in mlp.cpp.
+  template <typename RowPtrFn>
+  std::span<const float> forward_batch_impl(RowPtrFn row_ptr, std::size_t rows,
+                                            BatchWorkspace& ws) const;
+  template <typename RowPtrFn>
+  void backward_batch_impl(RowPtrFn row_ptr, const BatchWorkspace& ws,
+                           std::span<const float> output_grads);
+
   struct Layer {
     std::size_t in = 0;
     std::size_t out = 0;
@@ -78,6 +144,10 @@ class Mlp {
 
   std::vector<std::size_t> layer_sizes_;
   std::vector<Layer> layers_;
+  /// SIMD backend for the batched passes, selected at construction
+  /// (DETERRENT_FORCE_ISA honored). Never serialized; every backend is
+  /// bit-identical, so a checkpoint moves freely between hosts.
+  const kernels::MlpKernelTable* kernels_;
 };
 
 }  // namespace deterrent::rl

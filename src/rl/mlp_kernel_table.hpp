@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+// Kernel-table core shared by rl::Mlp's batched passes and the per-ISA
+// backend TUs (mlp_kernels_scalar section of mlp_kernels.cpp,
+// mlp_kernels_avx2.cpp, mlp_kernels_avx512.cpp). Deliberately minimal for the
+// same reason as sim/kernels/kernel_table.hpp: the backend TUs are compiled
+// with ISA-specific flags and must not instantiate code that could be
+// comdat-folded with normally-compiled copies.
+//
+// Bit-exactness contract: every kernel computes each output element as the
+// SAME sequence of separate multiplies and adds the scalar loops perform —
+// vectorization runs across independent elements (batch lanes in the matvec,
+// vector indices in the axpy), never across the terms of one accumulation
+// chain, and no backend may contract a multiply-add into an FMA. This is
+// what keeps the batched trainer bit-identical to the scalar one on every
+// backend, and all backends bit-identical to each other.
+
+namespace deterrent::rl::kernels {
+
+/// Rows per tile of the batched passes — one AVX-512 register of lanes.
+/// Large enough that the weight matrix streams once per ~16 rows instead of
+/// once per row, small enough that a transposed input tile plus the
+/// accumulator block stay L1-resident.
+inline constexpr std::size_t kMlpLanes = 16;
+
+/// Backends for the MLP batch kernels. Mirrors sim::kernels::Isa but kept
+/// separate: the RL kernels are float math with their own exactness contract
+/// (no FMA), and not every sim backend needs an RL counterpart — hosts
+/// without a wide backend (including aarch64) run the scalar table, which
+/// the compiler's base flags already auto-vectorize element-wise.
+enum class MlpIsa : std::uint8_t { Scalar, Avx2, Avx512 };
+
+struct MlpKernelTable {
+  MlpIsa isa;
+  const char* name;
+
+  /// acc[n] = bias, then for j ascending in [0, n_cols):
+  ///   acc[n] += w[cols[j]] * xt[cols[j] * kMlpLanes + n]   for all 16 lanes.
+  /// The column list is how the layer-0 forward skips all-zero input
+  /// columns; passing the identity list is the dense product.
+  void (*matvec_cols)(const float* w, const float* xt, const std::uint32_t* cols,
+                      std::size_t n_cols, float bias, float* acc);
+
+  /// acc[n] = bias, then for i ascending in [0, in):
+  ///   acc[n] += w[i] * xt[i * kMlpLanes + n]   for all 16 lanes.
+  void (*matvec_dense)(const float* w, const float* xt, std::size_t in,
+                       float bias, float* acc);
+
+  /// acc[i] += g * x[i] for i in [0, n) — the backward pass primitive (one
+  /// term per element, so lane width cannot reassociate anything).
+  void (*axpy)(float g, const float* x, float* acc, std::size_t n);
+
+  /// Per-step constants of the Adam update, precomputed once per step() call.
+  struct AdamArgs {
+    float scale;    ///< gradient clip scale (1 when clipping is off/inactive)
+    float beta1;
+    float beta2;
+    float lr;
+    float eps;
+    double bias1;   ///< 1 - beta1^t
+    double bias2;   ///< 1 - beta2^t
+  };
+
+  /// One Adam update over n independent elements, replicating exactly the
+  /// scalar sequence per element (float moment updates, double bias
+  /// correction / sqrt / divisions, final round to float). Every operation is
+  /// elementwise and correctly rounded (IEEE div and sqrt included), so wide
+  /// backends are bit-identical to the scalar loop.
+  void (*adam_step)(float* values, float* m, float* v, const float* grads,
+                    std::size_t n, const AdamArgs& args);
+};
+
+/// Backend factories; a factory returns nullptr when its TU was compiled
+/// without the required flags. Defined in mlp_kernels.cpp (scalar) and the
+/// per-ISA TUs.
+const MlpKernelTable* mlp_scalar_table();
+const MlpKernelTable* mlp_avx2_table();
+const MlpKernelTable* mlp_avx512_table();
+
+}  // namespace deterrent::rl::kernels

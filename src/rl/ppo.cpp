@@ -5,6 +5,7 @@
 
 #include "rl/categorical.hpp"
 #include "rl/gae.hpp"
+#include "rl/vector_env.hpp"
 #include "util/assert.hpp"
 
 namespace deterrent::rl {
@@ -23,11 +24,16 @@ util::Rng seeded_rng(std::uint64_t seed, std::uint64_t stream) {
   return util::Rng(seed * 0x9e3779b97f4a7c15ULL + stream + 1);
 }
 
+/// Episode streams live far above the fixed streams (0 = policy init,
+/// 1 = value init, 2 = shuffle), so no training run can collide them.
+constexpr std::uint64_t kEpisodeStreamBase = std::uint64_t{1} << 32;
+
 }  // namespace
 
 PpoTrainer::PpoTrainer(const EnvFactory& factory, const PpoConfig& config,
-                       std::uint64_t seed)
+                       std::uint64_t seed, const VectorEnvFactory& vector_factory)
     : config_(config),
+      seed_(seed),
       policy_([&] {
         auto rng = seeded_rng(seed, 0);
         auto probe = factory(0);
@@ -45,12 +51,28 @@ PpoTrainer::PpoTrainer(const EnvFactory& factory, const PpoConfig& config,
       policy_opt_(policy_.params(), {config.learning_rate}),
       value_opt_(value_.params(), {config.learning_rate}) {
   DETERRENT_ASSERT(config_.n_workers >= 1, "PPO requires at least one worker");
-  envs_.reserve(config_.n_workers);
-  for (std::size_t w = 0; w < config_.n_workers; ++w) envs_.push_back(factory(w));
-  // Stream 2 is the trainer's shuffling rng; workers use streams 3, 4, ….
-  worker_rngs_.reserve(config_.n_workers + 1);
-  for (std::size_t w = 0; w < config_.n_workers + 1; ++w)
-    worker_rngs_.push_back(seeded_rng(seed, 2 + w));
+  DETERRENT_ASSERT(config_.rollout_lanes >= 1, "PPO requires at least one lane");
+  if (config_.n_workers > 1 && config_.rollout_lanes > 1)
+    throw Error(
+        "PpoTrainer: n_workers > 1 and rollout_lanes > 1 are mutually "
+        "exclusive — pick the threaded or the vectorized collector, not both");
+  if (config_.rollout_lanes > 1) {
+    vector_env_ = vector_factory ? vector_factory(config_.rollout_lanes)
+                                 : std::make_unique<EnvVector>(
+                                       config_.rollout_lanes, factory);
+    DETERRENT_ASSERT(vector_env_->lanes() == config_.rollout_lanes &&
+                         vector_env_->observation_size() == policy_.input_size() &&
+                         vector_env_->action_count() == policy_.output_size(),
+                     "PpoTrainer: vector env shape mismatch");
+  } else {
+    envs_.reserve(config_.n_workers);
+    for (std::size_t w = 0; w < config_.n_workers; ++w) envs_.push_back(factory(w));
+  }
+  // Stream 2 is the trainer's minibatch-shuffle rng — the only persistent
+  // collection-side stream. Episodes draw from streams keyed by their global
+  // episode index (episode_rng), which makes every collector — serial,
+  // threaded, vectorized, at any width — interchangeable bit-for-bit.
+  worker_rngs_.push_back(seeded_rng(seed, 2));
   if (config_.n_workers > 1)
     pool_ = std::make_unique<util::ThreadPool>(config_.n_workers);
 }
@@ -65,6 +87,7 @@ TrainerState PpoTrainer::state() const {
   s.value_opt = value_opt_.state();
   s.rng_states.reserve(worker_rngs_.size());
   for (const auto& rng : worker_rngs_) s.rng_states.push_back(rng.state());
+  s.seed = seed_;
   s.total_steps = total_steps_;
   s.total_episodes = total_episodes_;
   return s;
@@ -75,15 +98,20 @@ void PpoTrainer::restore(const TrainerState& state) {
     throw Error("PpoTrainer::restore: snapshot has " +
                 std::to_string(state.rng_states.size()) + " RNG streams, trainer has " +
                 std::to_string(worker_rngs_.size()) +
-                " (was it saved with a different n_workers?)");
+                " (was it saved by an older trainer with per-worker streams?)");
   policy_.set_flat_params(state.policy_params);
   value_.set_flat_params(state.value_params);
   policy_opt_.restore(state.policy_opt);
   value_opt_.restore(state.value_opt);
   for (std::size_t i = 0; i < worker_rngs_.size(); ++i)
     worker_rngs_[i].set_state(state.rng_states[i]);
+  seed_ = state.seed;
   total_steps_ = state.total_steps;
   total_episodes_ = state.total_episodes;
+}
+
+util::Rng PpoTrainer::episode_rng(std::uint64_t index) const {
+  return seeded_rng(seed_, kEpisodeStreamBase + index);
 }
 
 PpoTrainer::EpisodeBuffer PpoTrainer::collect_episode(Env& env, util::Rng& rng) const {
@@ -118,6 +146,98 @@ PpoTrainer::EpisodeBuffer PpoTrainer::collect_episode(Env& env, util::Rng& rng) 
   return buffer;
 }
 
+void PpoTrainer::collect_vectorized(std::vector<EpisodeBuffer>& episodes) {
+  VectorEnv& venv = *vector_env_;
+  const std::size_t n_lanes = config_.rollout_lanes;
+  const std::size_t n_episodes = episodes.size();
+  const std::size_t act_dim = policy_.output_size();
+
+  constexpr std::size_t kIdle = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> current(n_lanes, kIdle);  // episode under collection
+  std::vector<std::size_t> next(n_lanes);            // next episode index
+  std::vector<util::Rng> lane_rng(n_lanes, util::Rng(0));
+
+  // Lane l owns episode slots l, l+N, l+2N, …, but each episode's RNG comes
+  // from episode_rng(global index) — the lane schedule only decides wall-clock
+  // interleaving, never the episode contents, so any lane count fills
+  // episodes[] with bit-identical rollouts.
+  auto begin_episode = [&](std::size_t l) {
+    current[l] = kIdle;
+    while (next[l] < n_episodes) {
+      const std::size_t e = next[l];
+      next[l] += n_lanes;
+      lane_rng[l] = episode_rng(total_episodes_ + e);
+      venv.reset_lane(l, lane_rng[l]);
+      // Mirrors collect_episode: resetting into an exhausted mask yields an
+      // empty episode and moves straight on to the lane's next one.
+      if (venv.action_mask(l).none()) continue;
+      current[l] = e;
+      return;
+    }
+  };
+  for (std::size_t l = 0; l < n_lanes; ++l) {
+    next[l] = l;
+    begin_episode(l);
+  }
+
+  util::BitVec active(n_lanes);
+  std::vector<std::uint32_t> actions(n_lanes, 0);
+  std::vector<const float*> row_ptrs;  // active lanes' observations, in order
+  Mlp::BatchWorkspace policy_ws;
+  Mlp::BatchWorkspace value_ws;
+
+  for (;;) {
+    active.clear_all();
+    std::size_t rows = 0;
+    for (std::size_t l = 0; l < n_lanes; ++l)
+      if (current[l] != kIdle) {
+        active.set(l);
+        ++rows;
+      }
+    if (rows == 0) break;
+
+    // Feed the lanes' observation storage to the batched passes directly —
+    // the row-pointer overload reads it in place, no gather copy.
+    row_ptrs.resize(rows);
+    std::size_t r = 0;
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+      if (current[l] == kIdle) continue;
+      row_ptrs[r] = venv.observation(l).data();
+      ++r;
+    }
+    const auto logits = policy_.forward_batch(row_ptrs.data(), rows, policy_ws);
+    const auto values = value_.forward_batch(row_ptrs.data(), rows, value_ws);
+
+    r = 0;
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+      if (current[l] == kIdle) continue;
+      EpisodeBuffer& buf = episodes[current[l]];
+      util::BitVec mask = venv.action_mask(l);  // copy: env mutates it on step
+      const MaskedCategorical dist(logits.subspan(r * act_dim, act_dim), mask);
+      const std::uint32_t action = dist.sample(lane_rng[l]);
+      buf.log_probs.push_back(dist.log_prob(action));
+      buf.values.push_back(values[r]);
+      const auto obs = venv.observation(l);
+      buf.observations.emplace_back(obs.begin(), obs.end());
+      buf.masks.push_back(std::move(mask));
+      buf.actions.push_back(action);
+      actions[l] = action;
+      ++r;
+    }
+
+    venv.step(actions, active);
+
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+      if (current[l] == kIdle) continue;
+      episodes[current[l]].rewards.push_back(venv.reward(l));
+      // Early exit per lane: a finished (or mask-exhausted) episode frees the
+      // lane for its next episode immediately; out of episodes, the lane
+      // stays frozen while the stragglers run out.
+      if (venv.done(l) || venv.action_mask(l).none()) begin_episode(l);
+    }
+  }
+}
+
 double PpoTrainer::run_episode(Env& env, util::Rng& rng, bool greedy) const {
   std::vector<float> obs = env.reset(rng);
   Mlp::Workspace ws;
@@ -142,16 +262,22 @@ PpoUpdateStats PpoTrainer::update() {
   const std::size_t n_episodes = config_.episodes_per_update;
   std::vector<EpisodeBuffer> episodes(n_episodes);
 
-  auto run_worker = [&](std::size_t w) {
-    for (std::size_t e = w; e < n_episodes; e += config_.n_workers)
-      episodes[e] = collect_episode(*envs_[w], worker_rngs_[1 + w]);
-  };
-  if (pool_) {
-    for (std::size_t w = 0; w < config_.n_workers; ++w)
-      pool_->submit([&run_worker, w] { run_worker(w); });
-    pool_->wait_idle();
+  if (vector_env_) {
+    collect_vectorized(episodes);
   } else {
-    run_worker(0);
+    auto run_worker = [&](std::size_t w) {
+      for (std::size_t e = w; e < n_episodes; e += config_.n_workers) {
+        util::Rng rng = episode_rng(total_episodes_ + e);
+        episodes[e] = collect_episode(*envs_[w], rng);
+      }
+    };
+    if (pool_) {
+      for (std::size_t w = 0; w < config_.n_workers; ++w)
+        pool_->submit([&run_worker, w] { run_worker(w); });
+      pool_->wait_idle();
+    } else {
+      run_worker(0);
+    }
   }
 
   // ---- advantage estimation ------------------------------------------------
@@ -199,7 +325,19 @@ PpoUpdateStats PpoTrainer::update() {
 
   Mlp::Workspace policy_ws;
   Mlp::Workspace value_ws;
+  Mlp::BatchWorkspace policy_bws;
+  Mlp::BatchWorkspace value_bws;
   std::vector<float> logits_grad;
+  std::vector<const float*> row_ptrs;  // minibatch rows, shuffled order
+  std::vector<float> batch_pol_grad;
+  std::vector<float> batch_val_grad;
+  const std::size_t act_dim = policy_.output_size();
+  // The vectorized trainer also batches the optimization passes — one
+  // matrix–matrix forward/backward per minibatch instead of per sample. The
+  // scalar trainer keeps the historic per-sample loop untouched; both produce
+  // bit-identical parameters (pinned by test_rl_vector.cpp), since the
+  // batched passes preserve every per-element accumulation order.
+  const bool batched = vector_env_ != nullptr;
   double sum_policy_loss = 0.0;
   double sum_value_loss = 0.0;
   double sum_entropy = 0.0;
@@ -213,39 +351,89 @@ PpoUpdateStats PpoTrainer::update() {
       policy_.zero_grad();
       value_.zero_grad();
 
-      for (std::size_t k = start; k < end; ++k) {
-        const std::uint32_t i = order[k];
-        const auto& obs = *all_obs[i];
-        const auto logits = policy_.forward(obs, policy_ws);
-        const MaskedCategorical dist(logits, *all_masks[i]);
-        const float new_logp = dist.log_prob(all_actions[i]);
-        const float ratio = std::exp(new_logp - all_old_logp[i]);
-        const float adv = all_adv[i];
+      if (batched) {
+        const std::size_t rows = end - start;
+        // The shuffled minibatch rows stay in their episode buffers; the
+        // row-pointer overloads read them in place (no gather copy).
+        row_ptrs.resize(rows);
+        for (std::size_t k = start; k < end; ++k)
+          row_ptrs[k - start] = all_obs[order[k]]->data();
+        const auto logits_all =
+            policy_.forward_batch(row_ptrs.data(), rows, policy_bws);
+        const auto values_all =
+            value_.forward_batch(row_ptrs.data(), rows, value_bws);
+        batch_pol_grad.assign(rows * act_dim, 0.0f);
+        batch_val_grad.assign(rows, 0.0f);
 
-        const float unclipped = ratio * adv;
-        const float clipped =
-            std::clamp(ratio, 1.0f - config_.clip_ratio, 1.0f + config_.clip_ratio) *
-            adv;
-        sum_policy_loss += -std::min(unclipped, clipped);
-        sum_entropy += dist.entropy();
+        for (std::size_t k = start; k < end; ++k) {
+          const std::size_t row = k - start;
+          const std::uint32_t i = order[k];
+          const MaskedCategorical dist(logits_all.subspan(row * act_dim, act_dim),
+                                       *all_masks[i]);
+          const float new_logp = dist.log_prob(all_actions[i]);
+          const float ratio = std::exp(new_logp - all_old_logp[i]);
+          const float adv = all_adv[i];
 
-        // Gradient of the clipped surrogate w.r.t. new_logp: zero when the
-        // clipped branch is active (it is constant in θ), −A·ratio otherwise.
-        const bool clip_active = clipped < unclipped;
-        const float g = clip_active ? 0.0f : -adv * ratio * inv_batch;
-        // Entropy bonus: loss term −c_eps·H ⇒ h = −c_eps (see add_grad docs).
-        const float h = -config_.entropy_coef * inv_batch;
-        logits_grad.assign(logits.size(), 0.0f);
-        dist.add_grad(all_actions[i], g, h, logits_grad);
-        policy_.backward(obs, policy_ws, logits_grad);
+          const float unclipped = ratio * adv;
+          const float clipped =
+              std::clamp(ratio, 1.0f - config_.clip_ratio,
+                         1.0f + config_.clip_ratio) *
+              adv;
+          sum_policy_loss += -std::min(unclipped, clipped);
+          sum_entropy += dist.entropy();
 
-        const float v = value_.forward(obs, value_ws)[0];
-        const float v_err = v - all_ret[i];
-        sum_value_loss += 0.5 * static_cast<double>(v_err) * v_err;
-        const float value_grad[1] = {config_.value_coef * v_err * inv_batch};
-        value_.backward(obs, value_ws, value_grad);
+          const bool clip_active = clipped < unclipped;
+          const float g = clip_active ? 0.0f : -adv * ratio * inv_batch;
+          const float h = -config_.entropy_coef * inv_batch;
+          dist.add_grad(all_actions[i], g, h,
+                        std::span<float>(batch_pol_grad)
+                            .subspan(row * act_dim, act_dim));
 
-        ++loss_samples;
+          const float v = values_all[row];
+          const float v_err = v - all_ret[i];
+          sum_value_loss += 0.5 * static_cast<double>(v_err) * v_err;
+          batch_val_grad[row] = config_.value_coef * v_err * inv_batch;
+
+          ++loss_samples;
+        }
+        policy_.backward_batch(row_ptrs.data(), policy_bws, batch_pol_grad);
+        value_.backward_batch(row_ptrs.data(), value_bws, batch_val_grad);
+      } else {
+        for (std::size_t k = start; k < end; ++k) {
+          const std::uint32_t i = order[k];
+          const auto& obs = *all_obs[i];
+          const auto logits = policy_.forward(obs, policy_ws);
+          const MaskedCategorical dist(logits, *all_masks[i]);
+          const float new_logp = dist.log_prob(all_actions[i]);
+          const float ratio = std::exp(new_logp - all_old_logp[i]);
+          const float adv = all_adv[i];
+
+          const float unclipped = ratio * adv;
+          const float clipped =
+              std::clamp(ratio, 1.0f - config_.clip_ratio,
+                         1.0f + config_.clip_ratio) *
+              adv;
+          sum_policy_loss += -std::min(unclipped, clipped);
+          sum_entropy += dist.entropy();
+
+          // Gradient of the clipped surrogate w.r.t. new_logp: zero when the
+          // clipped branch is active (it is constant in θ), −A·ratio otherwise.
+          const bool clip_active = clipped < unclipped;
+          const float g = clip_active ? 0.0f : -adv * ratio * inv_batch;
+          // Entropy bonus: loss term −c_eps·H ⇒ h = −c_eps (see add_grad docs).
+          const float h = -config_.entropy_coef * inv_batch;
+          logits_grad.assign(logits.size(), 0.0f);
+          dist.add_grad(all_actions[i], g, h, logits_grad);
+          policy_.backward(obs, policy_ws, logits_grad);
+
+          const float v = value_.forward(obs, value_ws)[0];
+          const float v_err = v - all_ret[i];
+          sum_value_loss += 0.5 * static_cast<double>(v_err) * v_err;
+          const float value_grad[1] = {config_.value_coef * v_err * inv_batch};
+          value_.backward(obs, value_ws, value_grad);
+
+          ++loss_samples;
+        }
       }
       policy_opt_.step(config_.max_grad_norm);
       value_opt_.step(config_.max_grad_norm);

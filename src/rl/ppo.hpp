@@ -27,8 +27,18 @@ struct PpoConfig {
   std::size_t episodes_per_update = 16;
   std::size_t hidden_size = 64;
   std::size_t hidden_layers = 2;
-  /// Parallel rollout workers (vectorized environments). 1 = synchronous.
+  /// Parallel rollout workers (one scalar env per thread). 1 = synchronous.
+  /// Mutually exclusive with rollout_lanes > 1.
   std::size_t n_workers = 1;
+  /// Lock-step rollout lanes on one VectorEnv (single-threaded, batched
+  /// network passes). 1 = the scalar collector. Every episode draws from an
+  /// RNG stream keyed by its global episode index, so n_workers and
+  /// rollout_lanes are pure throughput knobs: any worker or lane count
+  /// collects bit-identical episodes and trains to bit-identical parameters
+  /// (assuming the envs themselves are schedule-independent — see
+  /// core::CompatibleSetVectorEnv's note on SAT conflict budgets). Mutually
+  /// exclusive with n_workers > 1.
+  std::size_t rollout_lanes = 1;
   bool normalize_advantages = true;
 };
 
@@ -57,8 +67,15 @@ struct TrainerState {
   std::vector<float> value_params;
   AdamState policy_opt;
   AdamState value_opt;
-  /// Shuffle stream first, then one stream per rollout worker (n_workers+1).
+  /// The minibatch-shuffle stream. Rollout episodes draw from streams keyed
+  /// by (seed, global episode index) instead of persistent per-worker
+  /// streams, so a checkpoint restores bit-identically into a trainer with a
+  /// different n_workers or rollout_lanes.
   std::vector<std::array<std::uint64_t, 4>> rng_states;
+  /// The trainer seed — the key from which episode RNG streams are derived.
+  /// Restored alongside the streams so a snapshot resumes the same episode
+  /// sequence even in a trainer constructed with a different seed.
+  std::uint64_t seed = 0;
   std::uint64_t total_steps = 0;
   std::uint64_t total_episodes = 0;
 };
@@ -69,15 +86,26 @@ struct TrainerState {
 class PpoTrainer {
  public:
   using EnvFactory = std::function<std::unique_ptr<Env>(std::size_t worker_index)>;
+  using VectorEnvFactory =
+      std::function<std::unique_ptr<VectorEnv>(std::size_t lanes)>;
 
-  PpoTrainer(const EnvFactory& factory, const PpoConfig& config, std::uint64_t seed);
+  /// `factory` builds the scalar rollout envs (and shape probes). With
+  /// config.rollout_lanes > 1 the trainer collects on a VectorEnv instead:
+  /// `vector_factory(lanes)` when provided, else a generic EnvVector over
+  /// `factory`-built lanes. Throws deterrent::Error when both n_workers and
+  /// rollout_lanes exceed 1 — the two collectors own the same RNG streams.
+  PpoTrainer(const EnvFactory& factory, const PpoConfig& config, std::uint64_t seed,
+             const VectorEnvFactory& vector_factory = nullptr);
   ~PpoTrainer();
 
   TrainerState state() const;
 
   /// Restores a state() snapshot. Throws deterrent::Error when the snapshot
-  /// shape disagrees with this trainer (different network sizes or worker
-  /// count) — resuming under a changed config must fail loudly, not drift.
+  /// shape disagrees with this trainer (different network sizes) — resuming
+  /// under a changed architecture must fail loudly, not drift. Worker and
+  /// lane counts are NOT part of the shape: episode RNG streams are keyed by
+  /// global episode index, so a snapshot resumes bit-identically under any
+  /// n_workers or rollout_lanes.
   void restore(const TrainerState& state);
 
   /// Collects config.episodes_per_update episodes (split across workers) and
@@ -95,7 +123,11 @@ class PpoTrainer {
 
   /// The live rollout environments (one per worker) — lets callers read
   /// implementation-specific statistics (e.g. SAT query counts) after training.
+  /// Empty when the trainer collects on a VectorEnv (see vector_env()).
   std::span<const std::unique_ptr<Env>> envs() const { return envs_; }
+
+  /// The batched rollout environment, or nullptr when rollout_lanes == 1.
+  const VectorEnv* vector_env() const { return vector_env_.get(); }
 
  private:
   struct EpisodeBuffer {
@@ -108,9 +140,17 @@ class PpoTrainer {
   };
 
   EpisodeBuffer collect_episode(Env& env, util::Rng& rng) const;
+  void collect_vectorized(std::vector<EpisodeBuffer>& episodes);
+  /// The RNG stream for the episode with global index `index` — the key to
+  /// the collector-independence contract: the stream depends only on the
+  /// trainer seed and the episode's position in training, never on which
+  /// worker thread or rollout lane runs it.
+  util::Rng episode_rng(std::uint64_t index) const;
 
   PpoConfig config_;
-  std::vector<std::unique_ptr<Env>> envs_;  // one per worker
+  std::uint64_t seed_ = 0;
+  std::vector<std::unique_ptr<Env>> envs_;  // one per worker (scalar collector)
+  std::unique_ptr<VectorEnv> vector_env_;   // batched collector (lanes > 1)
   Mlp policy_;
   Mlp value_;
   Adam policy_opt_;

@@ -1,0 +1,68 @@
+#include "rl/vector_env.hpp"
+
+#include "util/assert.hpp"
+
+namespace deterrent::rl {
+
+EnvVector::EnvVector(std::vector<std::unique_ptr<Env>> envs)
+    : envs_(std::move(envs)), lanes_(envs_.size()) {
+  DETERRENT_ASSERT(!envs_.empty(), "EnvVector needs at least one lane");
+  for (const auto& env : envs_) {
+    DETERRENT_ASSERT(env != nullptr, "EnvVector: null lane env");
+    DETERRENT_ASSERT(env->observation_size() == envs_[0]->observation_size() &&
+                         env->action_count() == envs_[0]->action_count(),
+                     "EnvVector: lane shape mismatch");
+  }
+}
+
+EnvVector::EnvVector(std::size_t lanes,
+                     const std::function<std::unique_ptr<Env>(std::size_t)>& factory)
+    : EnvVector([&] {
+        std::vector<std::unique_ptr<Env>> envs;
+        envs.reserve(lanes);
+        for (std::size_t l = 0; l < lanes; ++l) envs.push_back(factory(l));
+        return envs;
+      }()) {}
+
+std::size_t EnvVector::observation_size() const {
+  return envs_[0]->observation_size();
+}
+
+std::size_t EnvVector::action_count() const { return envs_[0]->action_count(); }
+
+void EnvVector::reset_lane(std::size_t lane, util::Rng& rng) {
+  DETERRENT_ASSERT(lane < envs_.size(), "EnvVector::reset_lane out of range");
+  Lane& state = lanes_[lane];
+  state.observation = envs_[lane]->reset(rng);
+  state.reward = 0.0f;
+  state.done = false;
+}
+
+void EnvVector::step(std::span<const std::uint32_t> actions,
+                     const util::BitVec& active) {
+  DETERRENT_ASSERT(actions.size() == envs_.size() && active.size() == envs_.size(),
+                   "EnvVector::step batch size mismatch");
+  for (std::size_t l = active.find_first(); l < envs_.size();
+       l = active.find_next(l + 1)) {
+    Lane& state = lanes_[l];
+    DETERRENT_ASSERT(!state.done, "EnvVector::step on a done lane");
+    StepResult result = envs_[l]->step(actions[l]);
+    state.observation = std::move(result.observation);
+    state.reward = result.reward;
+    state.done = result.done;
+  }
+}
+
+std::span<const float> EnvVector::observation(std::size_t lane) const {
+  return lanes_[lane].observation;
+}
+
+const util::BitVec& EnvVector::action_mask(std::size_t lane) const {
+  return envs_[lane]->action_mask();
+}
+
+float EnvVector::reward(std::size_t lane) const { return lanes_[lane].reward; }
+
+bool EnvVector::done(std::size_t lane) const { return lanes_[lane].done; }
+
+}  // namespace deterrent::rl

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rl/env.hpp"
+
+namespace deterrent::rl {
+
+/// Generic VectorEnv adapter over N independent scalar Env instances.
+///
+/// Gives any Env a lock-step batch surface for free: lane l is envs[l], and
+/// every VectorEnv guarantee (lane independence, frozen done lanes) follows
+/// from the Env-per-lane layout. Specialized batch implementations
+/// (core::CompatibleSetVectorEnv) beat it on shared state and batched
+/// reward checks; the differential suite uses this adapter as the reference.
+class EnvVector final : public VectorEnv {
+ public:
+  /// Takes ownership of the lanes; all must share observation/action shapes.
+  explicit EnvVector(std::vector<std::unique_ptr<Env>> envs);
+
+  /// Convenience: builds N lanes from a factory(lane_index) callback.
+  EnvVector(std::size_t lanes,
+            const std::function<std::unique_ptr<Env>(std::size_t)>& factory);
+
+  std::size_t lanes() const override { return envs_.size(); }
+  std::size_t observation_size() const override;
+  std::size_t action_count() const override;
+  void reset_lane(std::size_t lane, util::Rng& rng) override;
+  void step(std::span<const std::uint32_t> actions,
+            const util::BitVec& active) override;
+  std::span<const float> observation(std::size_t lane) const override;
+  const util::BitVec& action_mask(std::size_t lane) const override;
+  float reward(std::size_t lane) const override;
+  bool done(std::size_t lane) const override;
+
+  /// The wrapped per-lane environment (statistics readout).
+  const Env& lane_env(std::size_t lane) const { return *envs_[lane]; }
+
+ private:
+  struct Lane {
+    std::vector<float> observation;
+    float reward = 0.0f;
+    bool done = true;  // unfrozen only by reset_lane()
+  };
+
+  std::vector<std::unique_ptr<Env>> envs_;
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace deterrent::rl

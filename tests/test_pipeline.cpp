@@ -311,6 +311,53 @@ TEST(Pipeline, MidTrainingCheckpointResumesBitIdentically) {
   }
 }
 
+TEST(Pipeline, MidTrainingCheckpointWithRolloutLanesResumesBitIdentically) {
+  // Same kill-and-resume drill as above, but with the vectorized collector
+  // (rollout_lanes > 1): the checkpoint is taken between batched updates and
+  // must restore every lane RNG stream. Also pins the pipeline-level half of
+  // the determinism contract — rollout_lanes = N and n_workers = N runs must
+  // emit identical patterns end to end.
+  const Netlist nl = make_circuit(44);
+  DeterrentConfig lanes_cfg = quick_config(8);
+  lanes_cfg.updates = 5;
+  lanes_cfg.ppo.rollout_lanes = 4;
+
+  DeterrentConfig workers_cfg = lanes_cfg;
+  workers_cfg.ppo.rollout_lanes = 1;
+  workers_cfg.ppo.n_workers = 4;
+
+  Deterrent straight_lanes(nl, lanes_cfg);
+  const auto lanes_patterns = straight_lanes.run();
+  Deterrent straight_workers(nl, workers_cfg);
+  const auto workers_patterns = straight_workers.run();
+  EXPECT_EQ(patterns_text(lanes_patterns), patterns_text(workers_patterns))
+      << "vectorized lanes and threaded workers diverged end to end";
+
+  TempDir dir("midtrain_lanes");
+  {
+    Session session(dir.str(), nl);
+    auto p = session.resume_with(lanes_cfg);
+    ASSERT_EQ(p->run_rare_nets(), StageStatus::Complete);
+    ASSERT_EQ(p->run_compatibility(), StageStatus::Complete);
+    ASSERT_EQ(p->run_train(2), StageStatus::Complete);  // interrupted at 2/5
+    session.save(*p);
+  }
+  Session session(dir.str(), nl);
+  auto p = session.resume();
+  EXPECT_EQ(p->history().size(), 2u);
+  ASSERT_EQ(p->run_remaining(), StageStatus::Complete);
+
+  EXPECT_EQ(p->history().size(), 5u);
+  EXPECT_EQ(patterns_text(p->patterns()), patterns_text(lanes_patterns));
+  const auto& h_resumed = p->history();
+  const auto& h_straight = straight_lanes.history();
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(h_resumed[i].cumulative_steps, h_straight[i].cumulative_steps) << i;
+    EXPECT_EQ(h_resumed[i].pool_size, h_straight[i].pool_size) << i;
+    EXPECT_DOUBLE_EQ(h_resumed[i].ppo.total_loss, h_straight[i].ppo.total_loss) << i;
+  }
+}
+
 // -------------------------------------------------------- stage control ----
 
 TEST(Pipeline, TrainZeroUpdatesEdgeRunsOneUpdate) {

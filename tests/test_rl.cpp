@@ -302,6 +302,15 @@ TEST(Gae, NormalizeSingletonIsNoop) {
   EXPECT_EQ(adv[0], 5.0f);
 }
 
+TEST(Gae, EmptyEpisodeYieldsEmptyResult) {
+  // Regression: an env can reset straight into an exhausted action mask,
+  // producing a zero-length episode. compute_gae must return empty vectors
+  // instead of touching rewards[n - 1] with n == 0.
+  const GaeResult gae = compute_gae({}, {}, 0.99f, 0.95f);
+  EXPECT_TRUE(gae.advantages.empty());
+  EXPECT_TRUE(gae.returns.empty());
+}
+
 // ------------------------------------------------------------ PPO toys -----
 
 /// One-step bandit: 4 arms, arm 2 pays 1. The policy must concentrate there.

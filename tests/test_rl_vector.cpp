@@ -1,0 +1,820 @@
+// Differential training-determinism suite for the vectorized PPO rollout
+// path: batched Mlp passes, the VectorEnv collector, and the batched
+// CompatibleSetVectorEnv must all be bit-identical to their scalar twins.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/compatibility.hpp"
+#include "analysis/rare_nets.hpp"
+#include "bench_gen/random_circuit.hpp"
+#include "core/compatible_set_env.hpp"
+#include "core/set_pool.hpp"
+#include "rl/adam.hpp"
+#include "rl/gae.hpp"
+#include "rl/mlp.hpp"
+#include "rl/mlp_kernels.hpp"
+#include "rl/ppo.hpp"
+#include "rl/vector_env.hpp"
+#include "util/assert.hpp"
+
+namespace deterrent {
+namespace {
+
+using analysis::CompatibilityMatrix;
+using analysis::RareNet;
+using core::CompatibleSetEnv;
+using core::CompatibleSetVectorEnv;
+using core::DistinctSetPool;
+using core::EnvConfig;
+using core::MaskMode;
+using core::RewardMode;
+using rl::Env;
+using rl::EnvVector;
+using rl::Mlp;
+using rl::PpoConfig;
+using rl::PpoTrainer;
+using rl::StepResult;
+
+// ------------------------------------------------------ Mlp batch passes ---
+
+std::vector<float> random_input(std::size_t n, util::Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.below(2000)) / 500.0f - 2.0f;
+  return v;
+}
+
+TEST(MlpBatch, ForwardBatchMatchesPerRowBitIdentically) {
+  const std::vector<std::vector<std::size_t>> shapes = {
+      {3, 8, 2}, {5, 16, 16, 4}, {17, 32, 9}, {1, 4, 1}};
+  for (const auto& shape : shapes) {
+    util::Rng init(shape[0] * 131 + shape.back());
+    Mlp net(shape, init);
+    // Rows straddle the internal tile width (16): partial, exact, and
+    // multi-tile-plus-remainder batches.
+    for (const std::size_t rows : {1u, 5u, 16u, 17u, 33u, 64u}) {
+      util::Rng data(rows * 977 + 5);
+      const std::vector<float> input = random_input(rows * shape.front(), data);
+      Mlp::BatchWorkspace bws;
+      const auto batch_out = net.forward_batch(input, rows, bws);
+      ASSERT_EQ(batch_out.size(), rows * shape.back());
+
+      Mlp::Workspace ws;
+      for (std::size_t r = 0; r < rows; ++r) {
+        const auto row_out = net.forward(
+            std::span<const float>(input).subspan(r * shape.front(), shape.front()),
+            ws);
+        for (std::size_t o = 0; o < shape.back(); ++o)
+          ASSERT_EQ(batch_out[r * shape.back() + o], row_out[o])
+              << "rows=" << rows << " r=" << r << " o=" << o;
+      }
+    }
+  }
+}
+
+TEST(MlpBatch, BackwardBatchMatchesPerRowAccumulationBitIdentically) {
+  const std::vector<std::size_t> shape{7, 24, 24, 5};
+  util::Rng init(42);
+  Mlp batch_net(shape, init);
+  Mlp row_net(shape, init);
+  row_net.copy_params_from(batch_net);
+
+  for (const std::size_t rows : {1u, 16u, 33u}) {
+    util::Rng data(rows * 31 + 7);
+    const std::vector<float> input = random_input(rows * shape.front(), data);
+    std::vector<float> grads = random_input(rows * shape.back(), data);
+    // Exercise the exact-zero skip (backward treats g == 0 as "no update").
+    for (std::size_t i = 0; i < grads.size(); i += 3) grads[i] = 0.0f;
+
+    batch_net.zero_grad();
+    Mlp::BatchWorkspace bws;
+    batch_net.forward_batch(input, rows, bws);
+    batch_net.backward_batch(input, bws, grads);
+
+    row_net.zero_grad();
+    Mlp::Workspace ws;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto in =
+          std::span<const float>(input).subspan(r * shape.front(), shape.front());
+      row_net.forward(in, ws);
+      row_net.backward(
+          in, ws, std::span<const float>(grads).subspan(r * shape.back(), shape.back()));
+    }
+
+    auto batch_params = batch_net.params();
+    auto row_params = row_net.params();
+    ASSERT_EQ(batch_params.size(), row_params.size());
+    for (std::size_t p = 0; p < batch_params.size(); ++p)
+      for (std::size_t i = 0; i < batch_params[p].size; ++i)
+        ASSERT_EQ(batch_params[p].grads[i], row_params[p].grads[i])
+            << "rows=" << rows << " tensor=" << p << " elem=" << i;
+  }
+}
+
+// The row-pointer overloads feed scattered rows (the trainer passes shuffled
+// minibatch rows and per-lane observations in place); they must match the
+// contiguous-span overloads bit for bit.
+TEST(MlpBatch, RowPointerOverloadsMatchContiguousBitIdentically) {
+  const std::vector<std::size_t> shape{11, 16, 4};
+  util::Rng init(9);
+  Mlp span_net(shape, init);
+  Mlp ptr_net(shape, init);
+  ptr_net.copy_params_from(span_net);
+
+  for (const std::size_t rows : {1u, 16u, 21u}) {
+    util::Rng data(rows * 53 + 1);
+    std::vector<float> input = random_input(rows * shape.front(), data);
+    for (std::size_t i = 0; i < input.size(); ++i)
+      if (data.below(10) < 6) input[i] = 0.0f;  // sparse layer-0 path
+    const std::vector<float> grads = random_input(rows * shape.back(), data);
+    // Reversed storage order: the pointers, not the layout, define the rows.
+    std::vector<std::vector<float>> scattered(rows);
+    std::vector<const float*> row_ptrs(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto* base = input.data() + r * shape.front();
+      scattered[rows - 1 - r].assign(base, base + shape.front());
+      row_ptrs[r] = scattered[rows - 1 - r].data();
+    }
+
+    Mlp::BatchWorkspace span_ws, ptr_ws;
+    const auto span_out = span_net.forward_batch(input, rows, span_ws);
+    const auto ptr_out = ptr_net.forward_batch(row_ptrs.data(), rows, ptr_ws);
+    ASSERT_EQ(span_out.size(), ptr_out.size());
+    for (std::size_t i = 0; i < span_out.size(); ++i)
+      ASSERT_EQ(span_out[i], ptr_out[i]) << "rows=" << rows << " elem=" << i;
+
+    span_net.zero_grad();
+    ptr_net.zero_grad();
+    span_net.backward_batch(input, span_ws, grads);
+    ptr_net.backward_batch(row_ptrs.data(), ptr_ws, grads);
+    auto span_params = span_net.params();
+    auto ptr_params = ptr_net.params();
+    for (std::size_t p = 0; p < span_params.size(); ++p)
+      for (std::size_t i = 0; i < span_params[p].size; ++i)
+        ASSERT_EQ(span_params[p].grads[i], ptr_params[p].grads[i])
+            << "rows=" << rows << " tensor=" << p << " elem=" << i;
+  }
+}
+
+// Every compiled-in SIMD backend the host can run must produce bitwise the
+// same batch results as the Scalar table — the contract that lets a
+// checkpoint (and the bench checksums) move freely between hosts. The
+// backend is chosen at Mlp construction from DETERRENT_FORCE_ISA, so the
+// sweep builds one network per backend from the same init stream. Inputs are
+// ~70% exact zeros to exercise the sparse layer-0 column-skip path.
+TEST(MlpBatch, AllKernelBackendsAreBitIdenticalToScalar) {
+  const auto isas = rl::kernels::supported_mlp_isas();
+  ASSERT_FALSE(isas.empty());
+  ASSERT_EQ(isas.front(), rl::kernels::MlpIsa::Scalar);
+
+  const std::vector<std::size_t> shape{19, 32, 32, 6};
+  const std::size_t rows = 33;  // two full tiles plus a remainder
+  util::Rng data(2026);
+  std::vector<float> input = random_input(rows * shape.front(), data);
+  for (std::size_t i = 0; i < input.size(); ++i)
+    if (data.below(10) < 7) input[i] = 0.0f;
+  std::vector<float> grads = random_input(rows * shape.back(), data);
+  for (std::size_t i = 0; i < grads.size(); i += 3) grads[i] = 0.0f;
+
+  const char* saved = std::getenv("DETERRENT_FORCE_ISA");
+  const std::string saved_value = saved ? saved : "";
+
+  std::vector<float> ref_out, ref_grads, ref_params;
+  for (const auto isa : isas) {
+    ::setenv("DETERRENT_FORCE_ISA", rl::kernels::to_string(isa), 1);
+    util::Rng init(7);
+    Mlp net(shape, init);
+
+    Mlp::BatchWorkspace bws;
+    const auto out = net.forward_batch(input, rows, bws);
+    net.zero_grad();
+    net.backward_batch(input, bws, grads);
+    std::vector<float> flat_grads;
+    for (const auto& p : net.params())
+      flat_grads.insert(flat_grads.end(), p.grads, p.grads + p.size);
+
+    // The Adam elementwise update dispatches to the same backend table; two
+    // clipped steps cover the scale path and a bias-correction change.
+    rl::Adam opt(net.params());
+    opt.step(0.5f);
+    opt.step(0.5f);
+    const std::vector<float> stepped = net.flat_params();
+
+    if (isa == rl::kernels::MlpIsa::Scalar) {
+      ref_out.assign(out.begin(), out.end());
+      ref_grads = std::move(flat_grads);
+      ref_params = stepped;
+      continue;
+    }
+    ASSERT_EQ(out.size(), ref_out.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+      ASSERT_EQ(out[i], ref_out[i])
+          << rl::kernels::to_string(isa) << " forward elem " << i;
+    ASSERT_EQ(flat_grads.size(), ref_grads.size());
+    for (std::size_t i = 0; i < flat_grads.size(); ++i)
+      ASSERT_EQ(flat_grads[i], ref_grads[i])
+          << rl::kernels::to_string(isa) << " grad elem " << i;
+    ASSERT_EQ(stepped.size(), ref_params.size());
+    for (std::size_t i = 0; i < stepped.size(); ++i)
+      ASSERT_EQ(stepped[i], ref_params[i])
+          << rl::kernels::to_string(isa) << " adam-stepped param " << i;
+  }
+
+  if (saved)
+    ::setenv("DETERRENT_FORCE_ISA", saved_value.c_str(), 1);
+  else
+    ::unsetenv("DETERRENT_FORCE_ISA");
+}
+
+// ----------------------------------------------------------- toy WalkEnv ---
+
+/// Deterministic multi-step toy with rng-dependent resets, a mask that
+/// changes with the state, and action-dependent episode lengths — enough
+/// structure that any collector divergence shows up in episodes and params.
+class WalkEnv final : public Env {
+ public:
+  explicit WalkEnv(int length = 6) : length_(length), mask_(3) {}
+  std::size_t observation_size() const override {
+    return static_cast<std::size_t>(length_) + 3;
+  }
+  std::size_t action_count() const override { return 3; }
+  std::vector<float> reset(util::Rng& rng) override {
+    pos_ = static_cast<int>(rng.below(3));
+    steps_ = 0;
+    refresh_mask();
+    return obs();
+  }
+  StepResult step(std::uint32_t action) override {
+    if (action == 0) pos_ = std::max(0, pos_ - 1);
+    if (action == 1) pos_ += 1;
+    if (action == 2) pos_ += 2;  // jump: only legal from even positions
+    ++steps_;
+    const bool done = pos_ >= length_ || steps_ >= 3 * length_;
+    const float reward =
+        (pos_ >= length_ ? 1.0f : 0.0f) + 0.01f * static_cast<float>(action);
+    refresh_mask();
+    return {obs(), reward, done};
+  }
+  const util::BitVec& action_mask() const override { return mask_; }
+
+ private:
+  void refresh_mask() {
+    mask_.clear_all();
+    mask_.set(0);
+    mask_.set(1);
+    if (pos_ % 2 == 0) mask_.set(2);
+  }
+  std::vector<float> obs() const {
+    std::vector<float> o(observation_size(), 0.0f);
+    o[static_cast<std::size_t>(std::min(pos_, length_ + 2))] = 1.0f;
+    return o;
+  }
+  int length_;
+  int pos_ = 0;
+  int steps_ = 0;
+  util::BitVec mask_;
+};
+
+PpoConfig toy_config() {
+  PpoConfig cfg;
+  cfg.episodes_per_update = 16;
+  cfg.hidden_size = 16;
+  cfg.minibatch_size = 32;
+  cfg.entropy_coef = 0.02f;
+  cfg.learning_rate = 3e-3f;
+  return cfg;
+}
+
+void expect_stats_equal(const rl::PpoUpdateStats& a, const rl::PpoUpdateStats& b) {
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.episodes, b.episodes);
+  EXPECT_EQ(a.mean_episode_reward, b.mean_episode_reward);
+  EXPECT_EQ(a.mean_episode_length, b.mean_episode_length);
+  EXPECT_EQ(a.policy_loss, b.policy_loss);
+  EXPECT_EQ(a.value_loss, b.value_loss);
+  EXPECT_EQ(a.mean_entropy, b.mean_entropy);
+  EXPECT_EQ(a.total_loss, b.total_loss);
+}
+
+// -------------------------------------------- trainer-level differential ---
+
+/// The tentpole determinism contract: episodes are keyed by global episode
+/// index, so EVERY collector configuration — the scalar baseline, threaded
+/// workers, and vectorized lanes at any width — trains to bit-identical
+/// parameters. Lane counts cover the degenerate single lane, uneven episode
+/// splits (7), and more lanes than episodes (64).
+TEST(PpoVector, TrainingIsInvariantAcrossLaneAndWorkerCounts) {
+  const auto factory = [](std::size_t) { return std::make_unique<WalkEnv>(); };
+
+  PpoTrainer baseline(factory, toy_config(), 17);  // scalar single-env trainer
+  std::vector<rl::PpoUpdateStats> baseline_stats;
+  for (int u = 0; u < 3; ++u) baseline_stats.push_back(baseline.update());
+
+  auto check = [&](const PpoConfig& cfg, const std::string& label) {
+    PpoTrainer trainer(factory, cfg, 17);
+    for (int u = 0; u < 3; ++u)
+      expect_stats_equal(baseline_stats[static_cast<std::size_t>(u)],
+                         trainer.update());
+    EXPECT_EQ(baseline.total_steps(), trainer.total_steps()) << label;
+    EXPECT_EQ(baseline.policy().flat_params(), trainer.policy().flat_params())
+        << "policy params diverged: " << label;
+    EXPECT_EQ(baseline.value().flat_params(), trainer.value().flat_params())
+        << "value params diverged: " << label;
+  };
+
+  for (const std::size_t n : {1u, 2u, 7u, 64u}) {
+    PpoConfig lanes_cfg = toy_config();
+    lanes_cfg.rollout_lanes = n;
+    check(lanes_cfg, "rollout_lanes=" + std::to_string(n));
+  }
+  for (const std::size_t n : {2u, 4u}) {
+    PpoConfig workers_cfg = toy_config();
+    workers_cfg.n_workers = n;
+    check(workers_cfg, "n_workers=" + std::to_string(n));
+  }
+}
+
+/// Records every reset / action / reward an env sees, so the suite can pin
+/// "identical episodes" directly rather than inferring it from parameters.
+class RecordingWalkEnv final : public Env {
+ public:
+  RecordingWalkEnv(std::vector<float>* log) : log_(log) {}
+  std::size_t observation_size() const override { return inner_.observation_size(); }
+  std::size_t action_count() const override { return inner_.action_count(); }
+  std::vector<float> reset(util::Rng& rng) override {
+    log_->push_back(-1.0f);  // episode boundary marker
+    auto obs = inner_.reset(rng);
+    for (float x : obs) log_->push_back(x);
+    return obs;
+  }
+  StepResult step(std::uint32_t action) override {
+    auto result = inner_.step(action);
+    log_->push_back(static_cast<float>(action));
+    log_->push_back(result.reward);
+    return result;
+  }
+  const util::BitVec& action_mask() const override { return inner_.action_mask(); }
+
+ private:
+  WalkEnv inner_;
+  std::vector<float>* log_;
+};
+
+TEST(PpoVector, CollectedEpisodesAndRewardsIdenticalToScalarRollouts) {
+  constexpr std::size_t kLanes = 3;
+  std::vector<std::vector<float>> worker_logs(kLanes);
+  std::vector<std::vector<float>> lane_logs(kLanes);
+
+  PpoConfig workers_cfg = toy_config();
+  workers_cfg.n_workers = kLanes;
+  PpoTrainer threaded(
+      [&](std::size_t w) { return std::make_unique<RecordingWalkEnv>(&worker_logs[w]); },
+      workers_cfg, 23);
+
+  PpoConfig lanes_cfg = toy_config();
+  lanes_cfg.rollout_lanes = kLanes;
+  PpoTrainer vectorized(
+      [&](std::size_t w) { return std::make_unique<RecordingWalkEnv>(&lane_logs[w]); },
+      lanes_cfg, 23);
+
+  for (int u = 0; u < 2; ++u) {
+    threaded.update();
+    vectorized.update();
+  }
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    EXPECT_FALSE(worker_logs[l].empty());
+    EXPECT_EQ(worker_logs[l], lane_logs[l])
+        << "lane " << l << " saw a different episode stream than worker " << l;
+  }
+}
+
+TEST(PpoVector, WorkersAndLanesAreMutuallyExclusive) {
+  PpoConfig cfg = toy_config();
+  cfg.n_workers = 2;
+  cfg.rollout_lanes = 2;
+  EXPECT_THROW(
+      PpoTrainer([](std::size_t) { return std::make_unique<WalkEnv>(); }, cfg, 1),
+      Error);
+}
+
+// -------------------------------------------------- checkpoint / restore ---
+
+TEST(PpoVector, StateRestoreResumesBatchedTrainingBitIdentically) {
+  const auto factory = [](std::size_t) { return std::make_unique<WalkEnv>(); };
+  PpoConfig cfg = toy_config();
+  cfg.rollout_lanes = 4;
+
+  PpoTrainer reference(factory, cfg, 29);
+  reference.update();
+  const rl::TrainerState snapshot = reference.state();
+  const auto r2 = reference.update();
+  const auto r3 = reference.update();
+
+  PpoTrainer resumed(factory, cfg, 999);  // different seed: state must win
+  resumed.restore(snapshot);
+  const auto s2 = resumed.update();
+  const auto s3 = resumed.update();
+
+  expect_stats_equal(r2, s2);
+  expect_stats_equal(r3, s3);
+  EXPECT_EQ(reference.policy().flat_params(), resumed.policy().flat_params());
+  EXPECT_EQ(reference.value().flat_params(), resumed.value().flat_params());
+  EXPECT_EQ(reference.total_steps(), resumed.total_steps());
+  EXPECT_EQ(reference.total_episodes(), resumed.total_episodes());
+}
+
+TEST(PpoVector, CheckpointsArePortableAcrossLaneCounts) {
+  // Episode RNG streams are keyed by global episode index, so a snapshot
+  // taken under one lane count must resume bit-identically under another —
+  // parallelism is a throughput knob, not part of the training trajectory.
+  const auto factory = [](std::size_t) { return std::make_unique<WalkEnv>(); };
+  PpoConfig four = toy_config();
+  four.rollout_lanes = 4;
+  PpoConfig two = toy_config();
+  two.rollout_lanes = 2;
+
+  PpoTrainer a(factory, four, 31);
+  a.update();
+  const rl::TrainerState snapshot = a.state();
+  const auto a2 = a.update();
+
+  PpoTrainer b(factory, two, 555);
+  b.restore(snapshot);
+  const auto b2 = b.update();
+
+  expect_stats_equal(a2, b2);
+  EXPECT_EQ(a.policy().flat_params(), b.policy().flat_params());
+  EXPECT_EQ(a.value().flat_params(), b.value().flat_params());
+}
+
+// ------------------------------------- CompatibleSetVectorEnv lock-step ----
+
+struct Fixture {
+  netlist::Netlist netlist;
+  std::vector<RareNet> rare;
+  CompatibilityMatrix matrix;
+  std::vector<util::BitVec> signatures;
+};
+
+Fixture make_fixture(std::uint64_t seed, std::size_t gates = 220) {
+  bench_gen::RandomCircuitProfile p;
+  p.n_inputs = 16;
+  p.n_outputs = 8;
+  p.n_gates = gates;
+  p.seed = seed;
+  Fixture f{bench_gen::generate_random_circuit(p), {}, {}, {}};
+  util::Rng rng(seed * 3 + 1);
+  analysis::RareNetConfig rcfg;
+  rcfg.threshold = 0.15;
+  rcfg.sim_patterns = 1 << 13;
+  f.rare = analysis::find_rare_nets(f.netlist, rcfg, rng);
+  f.matrix = analysis::build_compatibility(f.netlist, f.rare, {}, rng);
+  util::Rng sig_rng(seed * 7 + 5);
+  f.signatures =
+      analysis::rare_activation_signatures(f.netlist, f.rare, 1 << 13, sig_rng);
+  return f;
+}
+
+std::uint32_t pick_masked_action(const util::BitVec& mask, util::Rng& rng) {
+  const auto indices = mask.to_indices();
+  return indices[rng.below(indices.size())];
+}
+
+/// Drives a CompatibleSetVectorEnv and N standalone CompatibleSetEnv twins in
+/// lock-step with shared per-lane RNG streams and identical actions, and
+/// asserts every observable matches at every step: observations, masks,
+/// rewards, done flags, members, SAT query counts, and the pooled sets.
+void run_lockstep_differential(const Fixture& f, const EnvConfig& cfg,
+                               std::size_t n_lanes, std::size_t episodes_per_lane,
+                               CompatibleSetVectorEnv::SatBackend backend,
+                               bool expect_exact_sat_count) {
+  DistinctSetPool vec_pool;
+  DistinctSetPool scalar_pool;
+  CompatibleSetVectorEnv venv(f.netlist, f.rare, f.matrix, cfg, &vec_pool, n_lanes,
+                              backend);
+  std::vector<std::unique_ptr<CompatibleSetEnv>> twins;
+  std::vector<util::Rng> reset_rng_v;
+  std::vector<util::Rng> reset_rng_s;
+  std::vector<util::Rng> action_rng;
+  std::vector<std::size_t> remaining(n_lanes, episodes_per_lane);
+  std::vector<bool> lane_done(n_lanes, false);
+
+  for (std::size_t l = 0; l < n_lanes; ++l) {
+    twins.push_back(std::make_unique<CompatibleSetEnv>(f.netlist, f.rare, f.matrix,
+                                                       cfg, &scalar_pool));
+    reset_rng_v.emplace_back(0xBEEF + 97 * l);
+    reset_rng_s.emplace_back(0xBEEF + 97 * l);
+    action_rng.emplace_back(0xF00D + 31 * l);
+  }
+
+  auto reset_lane = [&](std::size_t l) {
+    // Resetting into an exhausted mask ends the episode immediately; keep
+    // drawing until a playable episode starts or the lane's budget runs out.
+    while (remaining[l] > 0) {
+      venv.reset_lane(l, reset_rng_v[l]);
+      const std::vector<float> scalar_obs = twins[l]->reset(reset_rng_s[l]);
+      const auto vec_obs = venv.observation(l);
+      ASSERT_TRUE(std::equal(vec_obs.begin(), vec_obs.end(), scalar_obs.begin(),
+                             scalar_obs.end()));
+      ASSERT_EQ(venv.action_mask(l), twins[l]->action_mask());
+      if (!venv.action_mask(l).none()) return;
+      --remaining[l];
+    }
+    lane_done[l] = true;
+  };
+  for (std::size_t l = 0; l < n_lanes; ++l) reset_lane(l);
+
+  util::BitVec active(n_lanes);
+  std::vector<std::uint32_t> actions(n_lanes, 0);
+  for (;;) {
+    active.clear_all();
+    for (std::size_t l = 0; l < n_lanes; ++l)
+      if (!lane_done[l]) active.set(l);
+    if (active.none()) break;
+
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+      if (!active.test(l)) continue;
+      ASSERT_EQ(venv.action_mask(l), twins[l]->action_mask()) << "lane " << l;
+      actions[l] = pick_masked_action(venv.action_mask(l), action_rng[l]);
+    }
+    venv.step(actions, active);
+
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+      if (!active.test(l)) continue;
+      const StepResult scalar = twins[l]->step(actions[l]);
+      ASSERT_EQ(venv.reward(l), scalar.reward) << "lane " << l;
+      ASSERT_EQ(venv.done(l), scalar.done) << "lane " << l;
+      const auto vec_obs = venv.observation(l);
+      ASSERT_TRUE(std::equal(vec_obs.begin(), vec_obs.end(),
+                             scalar.observation.begin(), scalar.observation.end()))
+          << "lane " << l;
+      ASSERT_EQ(venv.action_mask(l), twins[l]->action_mask()) << "lane " << l;
+      const bool over = venv.done(l) || venv.action_mask(l).none();
+      if (over) {
+        ASSERT_EQ(std::vector<std::uint32_t>(venv.members(l).begin(),
+                                             venv.members(l).end()),
+                  std::vector<std::uint32_t>(twins[l]->members().begin(),
+                                             twins[l]->members().end()))
+            << "lane " << l;
+        --remaining[l];
+        reset_lane(l);
+      }
+    }
+  }
+
+  if (expect_exact_sat_count) {
+    std::uint64_t scalar_queries = 0;
+    for (const auto& twin : twins) scalar_queries += twin->sat_queries();
+    EXPECT_EQ(venv.sat_queries(), scalar_queries);
+  }
+  EXPECT_EQ(vec_pool.size(), scalar_pool.size());
+  EXPECT_EQ(vec_pool.k_largest(vec_pool.size()),
+            scalar_pool.k_largest(scalar_pool.size()));
+}
+
+TEST(VectorEnvDifferential, LanesMatchScalarEnvsAcrossAllModeCombos) {
+  const Fixture f = make_fixture(51);
+  if (f.rare.size() < 6) GTEST_SKIP();
+  for (const RewardMode reward : {RewardMode::AllSteps, RewardMode::EndOfEpisode}) {
+    for (const MaskMode mask : {MaskMode::Pairwise, MaskMode::None}) {
+      EnvConfig cfg;
+      cfg.reward_mode = reward;
+      cfg.mask_mode = mask;
+      // Witness signatures on one of the two mask modes per reward mode, so
+      // both the witness sweep and the pure-SAT path get differential cover.
+      if (mask == MaskMode::Pairwise) cfg.witness_signatures = &f.signatures;
+      SCOPED_TRACE(testing::Message() << "reward=" << static_cast<int>(reward)
+                                      << " mask=" << static_cast<int>(mask));
+      run_lockstep_differential(f, cfg, /*n_lanes=*/5, /*episodes_per_lane=*/3,
+                                CompatibleSetVectorEnv::SatBackend::PerLane,
+                                /*expect_exact_sat_count=*/true);
+    }
+  }
+}
+
+TEST(VectorEnvDifferential, WitnessSweepFiresAndPreservesTrajectories) {
+  const Fixture f = make_fixture(52, 300);
+  if (f.rare.size() < 8) GTEST_SKIP();
+  EnvConfig cfg;
+  cfg.witness_signatures = &f.signatures;
+  DistinctSetPool pool;
+  CompatibleSetVectorEnv venv(f.netlist, f.rare, f.matrix, cfg, &pool, 4);
+  std::vector<util::Rng> rngs;
+  for (std::size_t l = 0; l < 4; ++l) rngs.emplace_back(7 + l);
+  for (std::size_t l = 0; l < 4; ++l) venv.reset_lane(l, rngs[l]);
+  util::BitVec active(4);
+  active.set_all();
+  std::vector<std::uint32_t> actions(4, 0);
+  util::Rng act_rng(99);
+  for (int s = 0; s < 12 && !active.none(); ++s) {
+    for (std::size_t l = 0; l < 4; ++l)
+      if (active.test(l)) actions[l] = pick_masked_action(venv.action_mask(l), act_rng);
+    venv.step(actions, active);
+    for (std::size_t l = 0; l < 4; ++l)
+      if (active.test(l) && (venv.done(l) || venv.action_mask(l).none()))
+        active.set(l, false);
+  }
+  EXPECT_GT(venv.witness_hits(), 0u)
+      << "whole-word witness sweep never answered a joint check";
+}
+
+TEST(VectorEnvDifferential, SharedPortfolioBackendMatchesPerLane) {
+  // With an ample conflict budget the clause-sharing portfolio backend must
+  // produce the same trajectories as per-lane oracles (only budget-exhausted
+  // Unknowns may legally differ, and this fixture never exhausts).
+  const Fixture f = make_fixture(53);
+  if (f.rare.size() < 6) GTEST_SKIP();
+  EnvConfig cfg;
+  run_lockstep_differential(f, cfg, /*n_lanes=*/4, /*episodes_per_lane=*/2,
+                            CompatibleSetVectorEnv::SatBackend::SharedPortfolio,
+                            /*expect_exact_sat_count=*/false);
+}
+
+// ------------------------------------------------- lane isolation (prop) ---
+
+struct LaneTrace {
+  std::vector<float> rewards;
+  std::vector<std::vector<float>> observations;
+  std::vector<util::BitVec> masks;
+  std::vector<bool> dones;
+};
+
+/// Randomized property: killing lanes must not perturb survivors. A run where
+/// a random subset of lanes goes dead after reset must leave the surviving
+/// lanes bit-identical to a smaller batch containing only the survivors, and
+/// the dead lanes themselves must stay frozen through every step().
+TEST(VectorEnvProperty, DeadLanesStayFrozenAndSurvivorsAreUnaffected) {
+  const Fixture f = make_fixture(54);
+  if (f.rare.size() < 6) GTEST_SKIP();
+  EnvConfig cfg;
+  cfg.witness_signatures = &f.signatures;
+  constexpr std::size_t kLanes = 6;
+
+  for (const std::uint64_t trial : {1u, 2u, 3u}) {
+    util::Rng trial_rng(trial * 7919);
+    // Pick 3 random survivors; the rest go dead immediately after reset.
+    std::vector<std::size_t> ids(kLanes);
+    for (std::size_t i = 0; i < kLanes; ++i) ids[i] = i;
+    trial_rng.shuffle(ids);
+    const std::vector<std::size_t> survivors(ids.begin(), ids.begin() + 3);
+
+    auto lane_rng = [&](std::size_t id) { return util::Rng(0xA5A5 + 131 * id); };
+    auto act_rng = [&](std::size_t id) {
+      return util::Rng(trial * 1000003 + 17 * id);
+    };
+
+    // --- full batch: all lanes reset, only survivors ever stepped ---------
+    DistinctSetPool pool_a;
+    CompatibleSetVectorEnv full(f.netlist, f.rare, f.matrix, cfg, &pool_a, kLanes);
+    std::vector<util::Rng> reset_rngs;
+    std::vector<util::Rng> action_rngs;
+    for (std::size_t id = 0; id < kLanes; ++id) {
+      reset_rngs.push_back(lane_rng(id));
+      action_rngs.push_back(act_rng(id));
+      full.reset_lane(id, reset_rngs[id]);
+    }
+    std::vector<LaneTrace> traces(kLanes);
+    util::BitVec active(kLanes);
+    std::vector<std::uint32_t> actions(kLanes, 0);
+    for (int s = 0; s < 10; ++s) {
+      active.clear_all();
+      for (const std::size_t id : survivors)
+        if (!full.done(id) && !full.action_mask(id).none()) active.set(id);
+      if (active.none()) break;
+
+      // Snapshot the dead lanes before stepping the survivors.
+      std::vector<std::vector<float>> dead_obs(kLanes);
+      std::vector<float> dead_reward(kLanes, 0.0f);
+      for (std::size_t id = 0; id < kLanes; ++id) {
+        if (active.test(id)) continue;
+        const auto o = full.observation(id);
+        dead_obs[id].assign(o.begin(), o.end());
+        dead_reward[id] = full.reward(id);
+      }
+
+      for (std::size_t id = 0; id < kLanes; ++id)
+        if (active.test(id))
+          actions[id] = pick_masked_action(full.action_mask(id), action_rngs[id]);
+      full.step(actions, active);
+
+      for (std::size_t id = 0; id < kLanes; ++id) {
+        if (active.test(id)) {
+          const auto o = full.observation(id);
+          traces[id].rewards.push_back(full.reward(id));
+          traces[id].observations.emplace_back(o.begin(), o.end());
+          traces[id].masks.push_back(full.action_mask(id));
+          traces[id].dones.push_back(full.done(id));
+        } else {
+          const auto o = full.observation(id);
+          EXPECT_TRUE(std::equal(o.begin(), o.end(), dead_obs[id].begin(),
+                                 dead_obs[id].end()))
+              << "inactive lane " << id << " observation drifted";
+          EXPECT_EQ(full.reward(id), dead_reward[id])
+              << "inactive lane " << id << " reward drifted";
+        }
+      }
+    }
+
+    // --- survivor-only batch: same identities, same streams, same actions -
+    DistinctSetPool pool_b;
+    CompatibleSetVectorEnv small(f.netlist, f.rare, f.matrix, cfg, &pool_b,
+                                 survivors.size());
+    std::vector<util::Rng> small_reset;
+    std::vector<util::Rng> small_action;
+    for (std::size_t k = 0; k < survivors.size(); ++k) {
+      small_reset.push_back(lane_rng(survivors[k]));
+      small_action.push_back(act_rng(survivors[k]));
+      small.reset_lane(k, small_reset[k]);
+    }
+    std::vector<LaneTrace> small_traces(survivors.size());
+    util::BitVec small_active(survivors.size());
+    std::vector<std::uint32_t> small_actions(survivors.size(), 0);
+    for (int s = 0; s < 10; ++s) {
+      small_active.clear_all();
+      for (std::size_t k = 0; k < survivors.size(); ++k)
+        if (!small.done(k) && !small.action_mask(k).none()) small_active.set(k);
+      if (small_active.none()) break;
+      for (std::size_t k = 0; k < survivors.size(); ++k)
+        if (small_active.test(k))
+          small_actions[k] = pick_masked_action(small.action_mask(k), small_action[k]);
+      small.step(small_actions, small_active);
+      for (std::size_t k = 0; k < survivors.size(); ++k) {
+        if (!small_active.test(k)) continue;
+        const auto o = small.observation(k);
+        small_traces[k].rewards.push_back(small.reward(k));
+        small_traces[k].observations.emplace_back(o.begin(), o.end());
+        small_traces[k].masks.push_back(small.action_mask(k));
+        small_traces[k].dones.push_back(small.done(k));
+      }
+    }
+
+    for (std::size_t k = 0; k < survivors.size(); ++k) {
+      const LaneTrace& a = traces[survivors[k]];
+      const LaneTrace& b = small_traces[k];
+      EXPECT_EQ(a.rewards, b.rewards) << "trial " << trial << " survivor " << k;
+      EXPECT_EQ(a.observations, b.observations)
+          << "trial " << trial << " survivor " << k;
+      EXPECT_EQ(a.masks, b.masks) << "trial " << trial << " survivor " << k;
+      EXPECT_EQ(a.dones, b.dones) << "trial " << trial << " survivor " << k;
+    }
+  }
+}
+
+// --------------------------------------- trainer on the real environment ---
+
+TEST(PpoVector, LanesMatchWorkersOnCompatibleSetEnv) {
+  const Fixture f = make_fixture(55);
+  if (f.rare.size() < 6) GTEST_SKIP();
+  for (const RewardMode reward : {RewardMode::AllSteps, RewardMode::EndOfEpisode}) {
+    for (const MaskMode mask : {MaskMode::Pairwise, MaskMode::None}) {
+      EnvConfig env_cfg;
+      env_cfg.reward_mode = reward;
+      env_cfg.mask_mode = mask;
+      env_cfg.witness_signatures = &f.signatures;
+      SCOPED_TRACE(testing::Message() << "reward=" << static_cast<int>(reward)
+                                      << " mask=" << static_cast<int>(mask));
+
+      DistinctSetPool worker_pool;
+      PpoConfig workers_cfg = toy_config();
+      workers_cfg.episodes_per_update = 8;
+      workers_cfg.n_workers = 3;
+      PpoTrainer threaded(
+          [&](std::size_t) {
+            return std::make_unique<CompatibleSetEnv>(f.netlist, f.rare, f.matrix,
+                                                      env_cfg, &worker_pool);
+          },
+          workers_cfg, 61);
+
+      DistinctSetPool lane_pool;
+      PpoConfig lanes_cfg = workers_cfg;
+      lanes_cfg.n_workers = 1;
+      lanes_cfg.rollout_lanes = 3;
+      PpoTrainer vectorized(
+          [&](std::size_t) {
+            return std::make_unique<CompatibleSetEnv>(f.netlist, f.rare, f.matrix,
+                                                      env_cfg, &lane_pool);
+          },
+          lanes_cfg, 61,
+          [&](std::size_t lanes) {
+            return std::make_unique<CompatibleSetVectorEnv>(
+                f.netlist, f.rare, f.matrix, env_cfg, &lane_pool, lanes);
+          });
+
+      for (int u = 0; u < 2; ++u)
+        expect_stats_equal(threaded.update(), vectorized.update());
+      EXPECT_EQ(threaded.policy().flat_params(), vectorized.policy().flat_params());
+      EXPECT_EQ(threaded.value().flat_params(), vectorized.value().flat_params());
+      EXPECT_EQ(worker_pool.size(), lane_pool.size());
+      EXPECT_EQ(worker_pool.k_largest(worker_pool.size()),
+                lane_pool.k_largest(lane_pool.size()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deterrent
