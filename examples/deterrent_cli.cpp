@@ -15,6 +15,10 @@
 //   deterrent_cli resume   <bench|name> --session DIR        run remaining stages
 //   deterrent_cli campaign <name,name,...|all>               multi-circuit driver
 //
+// Artifact cache maintenance (see docs/service.md):
+//   deterrent_cli cache stats --cache-dir DIR                entry/byte counts
+//   deterrent_cli cache evict --cache-dir DIR [--fingerprint HEX]
+//
 // <bench|name> is either a built-in profile (c2670_like, …, mips16_like) or a
 // path to an ISCAS `.bench` file. Common flags:
 //   --threshold <θ>        rareness threshold           (default 0.1)
@@ -30,11 +34,19 @@
 //   --sat-inprocess <0|1>  solver inprocessing in the compatibility phase (default 1)
 //   --sat-portfolio <n>    clause-sharing solver clones for pair queries (default 0 = off)
 //   --sat-share-lbd <n>    max LBD of clauses exchanged between clones (default 6)
+//   --sat-dispatch <n>     threads for batched lane SAT dispatch in vectorized
+//                          rollouts (default 0 = sequential; results identical)
+//   --compat-shards <n>    split the compatibility build into n deterministic
+//                          row-range shards, checkpointed per shard (default 0)
+//   --cache-dir <dir>      shared content-addressed artifact cache: staged
+//                          commands hydrate from and publish to it
+//   --no-cache             ignore --cache-dir for this invocation
 //   --rollout-lanes <n>    lock-step PPO rollout lanes on one batched env
 //                          (default 1 = legacy scalar collector with 8
 //                          threaded workers; >1 forces n_workers = 1)
 //   --retries <n>          campaign per-circuit retries (default 2)
 //   --retry-backoff-ms <m> first retry backoff, doubles (default 50)
+//   --retry-backoff-cap-ms <m>  backoff ceiling per sleep (default 10000)
 //   --stage-timeout <s>    per-stage watchdog seconds   (default none)
 //   --quiet                suppress stage progress on stderr
 //
@@ -54,11 +66,13 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/lint.hpp"
 #include "bench_gen/library.hpp"
+#include "core/artifact_cache.hpp"
 #include "core/campaign.hpp"
 #include "core/deterrent.hpp"
 #include "core/session.hpp"
@@ -93,12 +107,19 @@ struct Args {
   std::size_t threads() const { return flag_size("--threads", 0); }
   bool sat_inprocess() const { return flag_size("--sat-inprocess", 1) != 0; }
   std::size_t sat_portfolio() const { return flag_size("--sat-portfolio", 0); }
+  std::size_t sat_dispatch() const { return flag_size("--sat-dispatch", 0); }
+  std::size_t compat_shards() const { return flag_size("--compat-shards", 0); }
+  std::string cache_dir() const { return flag_string("--cache-dir", ""); }
+  bool no_cache() const { return flags.count("--no-cache") != 0; }
   std::size_t rollout_lanes() const { return flag_size("--rollout-lanes", 1); }
   std::uint32_t sat_share_lbd() const {
     return static_cast<std::uint32_t>(flag_size("--sat-share-lbd", 6));
   }
   std::size_t retries() const { return flag_size("--retries", 2); }
   double retry_backoff_ms() const { return flag_double("--retry-backoff-ms", 50.0); }
+  double retry_backoff_cap_ms() const {
+    return flag_double("--retry-backoff-cap-ms", 10000.0);
+  }
   double stage_timeout() const { return flag_double("--stage-timeout", 0.0); }
   std::string lint_json() const { return flag_string("--lint-json", ""); }
   std::string lint_fatal() const { return flag_string("--lint-fatal", "error"); }
@@ -121,7 +142,8 @@ struct Args {
 };
 
 bool is_bare_flag(const char* name) {
-  return std::strcmp(name, "--quiet") == 0 || std::strcmp(name, "--no-lint") == 0;
+  return std::strcmp(name, "--quiet") == 0 || std::strcmp(name, "--no-lint") == 0 ||
+         std::strcmp(name, "--no-cache") == 0;
 }
 
 Args parse_args(int argc, char** argv) {
@@ -170,6 +192,8 @@ core::DeterrentConfig pipeline_config(const Args& args) {
   cfg.compat.inprocess = args.sat_inprocess();
   cfg.compat.portfolio_threads = args.sat_portfolio();
   cfg.compat.share_lbd_cap = args.sat_share_lbd();
+  cfg.compat.shard_count = args.compat_shards();
+  cfg.env.sat_dispatch_threads = args.sat_dispatch();
   cfg.updates = args.updates();
   cfg.k_patterns = args.k();
   cfg.seed = args.seed();
@@ -373,10 +397,22 @@ int require_session(const Args& args) {
   return 0;
 }
 
+/// With --cache-dir (and without --no-cache), opens the shared artifact cache
+/// and attaches it to the session so resume hydrates from it and save
+/// publishes back. Returns the owning handle — keep it alive past save().
+std::unique_ptr<core::ArtifactCache> open_cache(const Args& args,
+                                                core::Session& session) {
+  if (args.cache_dir().empty() || args.no_cache()) return nullptr;
+  auto cache = std::make_unique<core::ArtifactCache>(args.cache_dir());
+  session.attach_cache(cache.get());
+  return cache;
+}
+
 int cmd_prepare(const Args& args) {
   if (const int rc = require_session(args)) return rc;
   auto bench = load_target(args.target);
   core::Session session(args.session(), bench.scan.comb);
+  const auto cache = open_cache(args, session);
   const core::DeterrentConfig cfg =
       session.has_meta() ? session.load_config() : pipeline_config(args);
   auto pipeline = session.resume_with(cfg);
@@ -396,6 +432,7 @@ int cmd_train(const Args& args) {
   if (const int rc = require_session(args)) return rc;
   auto bench = load_target(args.target);
   core::Session session(args.session(), bench.scan.comb);
+  const auto cache = open_cache(args, session);
   if (!session.has_meta()) {
     std::fprintf(stderr, "session %s has no meta artifact — run prepare first\n",
                  session.dir().c_str());
@@ -437,6 +474,7 @@ int cmd_extract(const Args& args) {
   if (const int rc = require_session(args)) return rc;
   auto bench = load_target(args.target);
   core::Session session(args.session(), bench.scan.comb);
+  const auto cache = open_cache(args, session);
   if (!session.has_meta()) {
     std::fprintf(stderr, "session %s has no meta artifact — run prepare first\n",
                  session.dir().c_str());
@@ -460,6 +498,7 @@ int cmd_resume(const Args& args) {
   if (const int rc = require_session(args)) return rc;
   auto bench = load_target(args.target);
   core::Session session(args.session(), bench.scan.comb);
+  const auto cache = open_cache(args, session);
   if (!session.has_meta()) {
     std::fprintf(stderr, "session %s has no meta artifact — run prepare first\n",
                  session.dir().c_str());
@@ -504,8 +543,10 @@ int cmd_campaign(const Args& args) {
   cfg.base.ppo.n_workers = 1;
   cfg.threads = args.threads();
   cfg.session_root = args.session();
+  cfg.cache_dir = args.no_cache() ? "" : args.cache_dir();
   cfg.max_retries = args.retries();
   cfg.retry_backoff_ms = args.retry_backoff_ms();
+  cfg.retry_backoff_cap_ms = args.retry_backoff_cap_ms();
   cfg.stage_timeout_seconds = args.stage_timeout();
 
   core::Campaign campaign(cfg);
@@ -549,10 +590,39 @@ int cmd_campaign(const Args& args) {
   return resumable_stop && !degraded ? 3 : 4;
 }
 
+int cmd_cache(const Args& args) {
+  if (args.cache_dir().empty()) {
+    std::fprintf(stderr, "cache %s requires --cache-dir <dir>\n", args.target.c_str());
+    return 2;
+  }
+  core::ArtifactCache cache(args.cache_dir());
+  if (args.target == "stats") {
+    const auto s = cache.stats();
+    std::printf("cache %s: %llu entries, %llu bytes\n", cache.root().c_str(),
+                static_cast<unsigned long long>(s.entries),
+                static_cast<unsigned long long>(s.bytes));
+    return 0;
+  }
+  if (args.target == "evict") {
+    std::size_t removed;
+    const std::string fp = args.flag_string("--fingerprint", "");
+    if (fp.empty()) {
+      removed = cache.evict_all();
+    } else {
+      removed = cache.evict_fingerprint(std::stoull(fp, nullptr, 16));
+    }
+    std::printf("evicted %zu entries from %s\n", removed, cache.root().c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "unknown cache action '%s' (use stats or evict)\n",
+               args.target.c_str());
+  return 2;
+}
+
 void usage() {
   std::fprintf(stderr,
                "usage: deterrent_cli <lint|analyze|generate|evaluate|export|prepare|train|"
-               "extract|resume|campaign> <bench|name> [flags]\n"
+               "extract|resume|campaign|cache> <bench|name> [flags]\n"
                "  (see header comment for flags)\n");
 }
 
@@ -571,6 +641,7 @@ int main(int argc, char** argv) {
     if (args.command == "extract" && !args.target.empty()) return cmd_extract(args);
     if (args.command == "resume" && !args.target.empty()) return cmd_resume(args);
     if (args.command == "campaign" && !args.target.empty()) return cmd_campaign(args);
+    if (args.command == "cache" && !args.target.empty()) return cmd_cache(args);
   } catch (const std::exception& e) {
     // Covers deterrent::Error plus std:: failures (bad flag values hitting
     // stoull/stod, filesystem errors) — a CLI typo must not SIGABRT.

@@ -84,6 +84,115 @@ double CompatibilityMatrix::average_degree() const {
   return 2.0 * static_cast<double>(edge_count()) / static_cast<double>(rows_.size());
 }
 
+void CompatibilityMatrix::merge_or(const CompatibilityMatrix& other) {
+  if (other.size() != size())
+    throw Error("CompatibilityMatrix::merge_or: size mismatch (" +
+                std::to_string(other.size()) + " vs " + std::to_string(size()) + ")");
+  for (std::size_t i = 0; i < rows_.size(); ++i) rows_[i] |= other.rows_[i];
+  edge_count_valid_.store(false, std::memory_order_release);
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> compatibility_shard_ranges(
+    std::size_t n, std::size_t shard_count) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+  if (n == 0) {
+    ranges.emplace_back(0, 0);
+    return ranges;
+  }
+  const std::size_t shards = std::min(std::max<std::size_t>(1, shard_count), n);
+  std::size_t remaining_pairs = n * (n + 1) / 2;
+  std::uint32_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t remaining_shards = shards - s;
+    std::uint32_t end;
+    if (remaining_shards == 1) {
+      end = static_cast<std::uint32_t>(n);
+    } else {
+      // Greedy balance: take rows until this shard holds its share of the
+      // remaining pairs, but always leave one row per later shard.
+      const std::size_t target =
+          (remaining_pairs + remaining_shards - 1) / remaining_shards;
+      const auto max_end = static_cast<std::uint32_t>(n - (remaining_shards - 1));
+      end = begin;
+      std::size_t got = 0;
+      while (end < max_end && got < target) got += n - end++;
+    }
+    if (end == begin) end = begin + 1;
+    for (std::uint32_t i = begin; i < end; ++i) remaining_pairs -= n - i;
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  return ranges;
+}
+
+CompatibilityMatrix build_compatibility_shard(
+    const netlist::Netlist& netlist, std::span<const RareNet> rare_nets,
+    const CompatibilityBuildConfig& config, std::span<const util::BitVec> signatures,
+    std::uint32_t row_begin, std::uint32_t row_end, CompatibilityBuildStats* stats) {
+  const std::size_t n = rare_nets.size();
+  DETERRENT_ASSERT(signatures.size() == n && row_begin <= row_end && row_end <= n,
+                   "build_compatibility_shard: bad row range or signature table");
+  CompatibilityMatrix matrix(n);
+  CompatibilityBuildStats local;
+
+  // Phase 1 over the owned triangle slice.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> unresolved;
+  for (std::uint32_t i = row_begin; i < row_end; ++i) {
+    for (std::uint32_t j = i; j < n; ++j) {
+      ++local.pair_count;
+      if (i == j ? signatures[i].any() : signatures[i].intersects(signatures[j])) {
+        matrix.set(i, j);
+        ++local.sim_resolved;
+      } else {
+        unresolved.emplace_back(i, j);
+      }
+    }
+  }
+
+  // Phase 2: one private oracle per shard; learnt clauses amortize across the
+  // shard's pair list. Sat/Unsat verdicts match the monolithic build's.
+  if (!unresolved.empty()) {
+    sat::OracleConfig ocfg;
+    ocfg.inprocess = config.inprocess;
+    std::vector<netlist::NetId> query_nets;
+    query_nets.reserve(rare_nets.size());
+    for (const auto& rn : rare_nets) query_nets.push_back(rn.net);
+    sat::NetlistOracle oracle(netlist, ocfg);
+    oracle.declare_query_nets(query_nets);
+    for (const auto& [i, j] : unresolved) {
+      sat::Constraint constraints[2] = {
+          {rare_nets[i].net, rare_nets[i].rare_value},
+          {rare_nets[j].net, rare_nets[j].rare_value},
+      };
+      const std::size_t arity = (i == j) ? 1 : 2;
+      const auto result =
+          oracle.try_satisfiable({constraints, arity}, config.sat_conflict_budget);
+      if (!result.has_value()) {
+        ++local.timeout_pairs;
+      } else if (*result) {
+        ++local.sat_sat;
+        matrix.set(i, j);
+      } else {
+        ++local.sat_unsat;
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return matrix;
+}
+
+std::size_t finalize_compatibility(CompatibilityMatrix& matrix) {
+  std::size_t cleared = 0;
+  const std::size_t n = matrix.size();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!matrix.singleton_satisfiable(i)) {
+      ++cleared;
+      for (std::uint32_t j = 0; j < n; ++j) matrix.set(i, j, false);
+    }
+  }
+  return cleared;
+}
+
 std::vector<util::BitVec> rare_activation_signatures(
     const netlist::Netlist& netlist, std::span<const RareNet> rare_nets,
     std::size_t pattern_count, util::Rng& rng, util::ThreadPool* pool) {
@@ -141,6 +250,39 @@ CompatibilityMatrix build_compatibility(const netlist::Netlist& netlist,
   // Phase 1 — simulation pre-filter: co-occurrence is a satisfiability witness.
   auto signatures =
       rare_activation_signatures(netlist, rare_nets, config.sim_patterns, rng, pool);
+
+  if (config.shard_count >= 2 && n > 0) {
+    // Sharded build: deterministic row-range shards, each a full-width
+    // partial matrix, merged by ORing rows. The shard plan depends only on
+    // (n, shard_count), so the result is independent of the pool size and
+    // identical to the monolithic matrix.
+    const auto ranges = compatibility_shard_ranges(n, config.shard_count);
+    std::vector<CompatibilityMatrix> partials(ranges.size());
+    std::vector<CompatibilityBuildStats> shard_stats(ranges.size());
+    auto build_one = [&](std::size_t s) {
+      partials[s] =
+          build_compatibility_shard(netlist, rare_nets, config, signatures,
+                                    ranges[s].first, ranges[s].second, &shard_stats[s]);
+    };
+    if (pool != nullptr && pool->thread_count() > 1 && ranges.size() > 1) {
+      pool->parallel_for(ranges.size(), build_one);
+    } else {
+      for (std::size_t s = 0; s < ranges.size(); ++s) build_one(s);
+    }
+    for (std::size_t s = 0; s < ranges.size(); ++s) {
+      matrix.merge_or(partials[s]);
+      local_stats.sim_resolved += shard_stats[s].sim_resolved;
+      local_stats.sat_sat += shard_stats[s].sat_sat;
+      local_stats.sat_unsat += shard_stats[s].sat_unsat;
+      local_stats.timeout_pairs += shard_stats[s].timeout_pairs;
+    }
+    if (signatures_out != nullptr) *signatures_out = std::move(signatures);
+    local_stats.unsat_singletons = finalize_compatibility(matrix);
+    local_stats.build_seconds = watch.elapsed_seconds();
+    if (stats != nullptr) *stats = local_stats;
+    return matrix;
+  }
+
   std::vector<std::pair<std::uint32_t, std::uint32_t>> unresolved;
   for (std::uint32_t i = 0; i < n; ++i) {
     for (std::uint32_t j = i; j < n; ++j) {
@@ -248,12 +390,7 @@ CompatibilityMatrix build_compatibility(const netlist::Netlist& netlist,
 
   // A rare net whose singleton is unsatisfiable can never participate in a
   // trigger: clear its whole row so masks and cliques ignore it.
-  for (std::uint32_t i = 0; i < n; ++i) {
-    if (!matrix.singleton_satisfiable(i)) {
-      ++local_stats.unsat_singletons;
-      for (std::uint32_t j = 0; j < n; ++j) matrix.set(i, j, false);
-    }
-  }
+  local_stats.unsat_singletons = finalize_compatibility(matrix);
 
   local_stats.build_seconds = watch.elapsed_seconds();
   if (stats != nullptr) *stats = local_stats;

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "core/artifacts.hpp"
+
+namespace deterrent::core {
+
+/// Canonical hash of a DeterrentConfig: FNV-1a over the exact byte stream
+/// write_config produces, mixed with kArtifactFormatVersion. Because every
+/// scalar knob is serialized, changing *any* field — a budget, a seed, a lane
+/// count, a lint rule — changes the hash, which is what makes it safe as the
+/// "config" half of a cache key: two runs with the same hash would have
+/// produced byte-identical artifacts.
+std::uint64_t config_hash(const DeterrentConfig& config);
+
+/// Point-in-time cache summary plus this process's hit counters.
+struct ArtifactCacheStats {
+  std::uint64_t entries = 0;  ///< entry files currently on disk
+  std::uint64_t bytes = 0;    ///< their total size
+  std::uint64_t hits = 0;     ///< fetches served (process lifetime)
+  std::uint64_t misses = 0;   ///< fetches that found nothing usable
+  std::uint64_t stores = 0;   ///< entries published
+  std::uint64_t evicted_corrupt = 0;  ///< entries evicted by validation
+};
+
+/// Content-addressed artifact store shared across sessions: entries are keyed
+/// by (netlist structural fingerprint, canonical config hash, artifact kind,
+/// format version), so a previously-seen design under an identical config
+/// returns its rare-net/compatibility/policy/pattern artifacts without
+/// re-running any stage.
+///
+/// On-disk layout (see docs/service.md):
+///
+///   <root>/<kind>/<fingerprint hex>-<config hash hex>-v<version>.art
+///
+/// Entries are verbatim copies of session artifact files — the full
+/// util::serialize envelope (magic, kind, version, fingerprint, CRC), written
+/// atomically (write-then-fsync-then-rename), so cache hydration is a byte
+/// copy and a hydrated session is bit-identical to the session that populated
+/// the cache.
+///
+/// **Trust.** The cache trusts nothing it stores: every fetch re-validates
+/// the entry through util::read_artifact_file (magic, kind, version pin,
+/// fingerprint, CRC). A corrupt entry is evicted and reported as a miss —
+/// the caller regenerates and re-publishes, mirroring the session layer's
+/// corruption-quarantine path. Entries whose format version differs from the
+/// running build simply never match a key (the version is part of the file
+/// name), so version bumps age out naturally.
+///
+/// Safe for concurrent use by campaign workers: counters are atomic, writes
+/// are atomic-rename (racing stores of one key both publish valid bytes;
+/// last rename wins), and fetch never modifies a valid entry.
+///
+/// Fault sites: "cache.fetch" (throw/hang) fires on every lookup;
+/// "cache.store" (throw/hang/torn-truncate/torn-flip) guards the entry write,
+/// so the DETERRENT_FAULTS grammar can plant a corrupt cache entry for the
+/// recovery path to catch.
+class ArtifactCache {
+ public:
+  /// Binds (and creates, if missing) the cache root directory.
+  explicit ArtifactCache(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// Absolute entry path for a key (the file may or may not exist).
+  std::string entry_path(std::uint64_t netlist_fingerprint, std::uint64_t cfg_hash,
+                         ArtifactKind kind) const;
+
+  /// Copies a validated entry to `dest_path` (atomically). Returns false on
+  /// miss; a corrupt entry is evicted first, never handed out.
+  bool fetch(std::uint64_t netlist_fingerprint, std::uint64_t cfg_hash,
+             ArtifactKind kind, const std::string& dest_path);
+
+  /// Publishes the artifact file at `src_path` under the key. The source is
+  /// validated first, so the cache never holds bytes the envelope check
+  /// would reject at fetch time. Failures to validate the source throw; a
+  /// failure to write the entry is swallowed (the cache is an accelerator,
+  /// not a durability layer — the session copy is authoritative).
+  void store(std::uint64_t netlist_fingerprint, std::uint64_t cfg_hash,
+             ArtifactKind kind, const std::string& src_path);
+
+  /// Walks the cache directory for entry counts/bytes and merges in this
+  /// process's counters.
+  ArtifactCacheStats stats() const;
+
+  /// Removes every entry. Returns the number of files removed.
+  std::size_t evict_all();
+
+  /// Removes every entry belonging to one netlist fingerprint.
+  std::size_t evict_fingerprint(std::uint64_t netlist_fingerprint);
+
+ private:
+  std::string root_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> evicted_corrupt_{0};
+};
+
+}  // namespace deterrent::core

@@ -335,12 +335,14 @@ void write_config(util::BinaryWriter& w, const DeterrentConfig& config) {
   w.boolean(config.compat.inprocess);
   w.u64(config.compat.portfolio_threads);
   w.u32(config.compat.share_lbd_cap);
+  w.u64(config.compat.shard_count);
   w.u8(static_cast<std::uint8_t>(config.env.reward_mode));
   w.u8(static_cast<std::uint8_t>(config.env.mask_mode));
   w.u64(config.env.max_steps);
   w.i64(config.env.sat_conflict_budget);
   w.f64(config.env.reward_exponent);
   w.u64(config.env.eoe_repair_budget);
+  w.u64(config.env.sat_dispatch_threads);
   w.f32(config.ppo.gamma);
   w.f32(config.ppo.gae_lambda);
   w.f32(config.ppo.clip_ratio);
@@ -385,12 +387,14 @@ DeterrentConfig read_config(util::BinaryReader& r) {
   config.compat.inprocess = r.boolean();
   config.compat.portfolio_threads = r.u64();
   config.compat.share_lbd_cap = r.u32();
+  config.compat.shard_count = r.u64();
   config.env.reward_mode = static_cast<RewardMode>(r.u8());
   config.env.mask_mode = static_cast<MaskMode>(r.u8());
   config.env.max_steps = r.u64();
   config.env.sat_conflict_budget = r.i64();
   config.env.reward_exponent = r.f64();
   config.env.eoe_repair_budget = r.u64();
+  config.env.sat_dispatch_threads = r.u64();
   config.ppo.gamma = r.f32();
   config.ppo.gae_lambda = r.f32();
   config.ppo.clip_ratio = r.f32();

@@ -68,6 +68,8 @@ enum class ArtifactKind : std::uint32_t {
   Policy = 4,
   Patterns = 5,
   Lint = 6,
+  CompatShardPartial = 7,
+  CompatShardManifest = 8,
 };
 
 /// Bumped whenever any artifact payload layout changes; loaders reject other
@@ -75,7 +77,10 @@ enum class ArtifactKind : std::uint32_t {
 /// LintConfig block; the lint verdict artifact was added. v4: PpoConfig
 /// gained rollout_lanes and TrainerState gained the episode-stream seed
 /// (vectorized trainer with collector-independent episode RNG streams).
-inline constexpr std::uint32_t kArtifactFormatVersion = 4;
+/// v5: the config block gained compat.shard_count and
+/// env.sat_dispatch_threads; the compat-shard partial and manifest artifacts
+/// were added (sharded compatibility build).
+inline constexpr std::uint32_t kArtifactFormatVersion = 5;
 
 /// Verdict of the lint front door (stage 0): the full diagnostic report plus
 /// the reject decision it produced under the run's fail_on severity. Saved as

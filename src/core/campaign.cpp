@@ -64,6 +64,16 @@ void run_workload(const netlist::Netlist& workload, std::size_t cycles,
 
 }  // namespace
 
+double retry_backoff_delay_ms(double base_ms, std::size_t attempt, double cap_ms) {
+  if (base_ms <= 0.0) return 0.0;
+  // 1ULL << attempt is undefined from attempt 64 on, and the old unclamped
+  // shift produced garbage sleeps long before the cap could help. By 2^62 any
+  // positive cap has won, so saturating the exponent is lossless.
+  const std::size_t exponent = std::min<std::size_t>(attempt, 62);
+  const double ms = base_ms * static_cast<double>(1ULL << exponent);
+  return (cap_ms > 0.0 && ms > cap_ms) ? cap_ms : ms;
+}
+
 Campaign::Campaign(CampaignConfig config) : config_(std::move(config)) {}
 
 void Campaign::add(std::string name, const netlist::Netlist& netlist) {
@@ -96,6 +106,7 @@ void Campaign::run_circuit_attempt(std::size_t index, const StageControl& contro
     session = std::make_unique<Session>(
         (std::filesystem::path(config_.session_root) / circuit.name).string(),
         *circuit.netlist);
+    session->attach_cache(cache_.get());
     // An existing session's stored config wins over the index-derived one:
     // re-running the campaign with a reordered circuit list (or changed
     // flags) must resume each circuit under the config its artifacts were
@@ -146,7 +157,8 @@ CampaignCircuitReport Campaign::run_circuit(std::size_t index,
 
   const std::size_t max_attempts = config_.max_retries + 1;
   const auto backoff = [this](std::size_t attempt) {
-    const double ms = config_.retry_backoff_ms * static_cast<double>(1ULL << attempt);
+    const double ms = retry_backoff_delay_ms(config_.retry_backoff_ms, attempt,
+                                             config_.retry_backoff_cap_ms);
     if (ms > 0.0)
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
   };
@@ -222,6 +234,9 @@ CampaignReport Campaign::run(const StageControl& control) {
   CampaignReport report;
   report.circuits.resize(circuits_.size());
   if (circuits_.empty()) return report;
+
+  if (!config_.cache_dir.empty() && cache_ == nullptr)
+    cache_ = std::make_unique<ArtifactCache>(config_.cache_dir);
 
   // One shared cancellation latch: a false return from the user's callback
   // (for any circuit) stops every circuit at its next checkpoint. The user

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/artifact_cache.hpp"
 #include "core/session.hpp"
 
 namespace deterrent::core {
@@ -36,6 +38,13 @@ struct CampaignConfig {
   /// files, and a re-run campaign resumes every circuit from its artifacts
   /// instead of starting over.
   std::string session_root;
+  /// When non-empty, all circuits share one content-addressed ArtifactCache
+  /// rooted here: sessions hydrate missing stage artifacts from entries keyed
+  /// by (netlist fingerprint, config hash, kind) and publish completed ones
+  /// back, so a campaign over previously-seen designs skips their offline
+  /// stages entirely — even across different session roots or machines
+  /// sharing the directory. Requires session_root (the cache feeds sessions).
+  std::string cache_dir;
   /// Sequential workload evaluation: after a circuit's pipeline completes,
   /// step this many clock cycles of seeded, slowly-varying random stimulus
   /// on its `workload` netlist (when enrolled), `workload_traces` traces in
@@ -45,13 +54,17 @@ struct CampaignConfig {
   /// Robustness knobs (see docs/robustness.md). A circuit attempt that fails
   /// with a TransientError / CorruptArtifactError, or whose stage watchdog
   /// times out, is retried up to `max_retries` more times with exponential
-  /// backoff (`retry_backoff_ms * 2^attempt`). Session-backed circuits
-  /// resume each retry from their last good artifact, so work is never
-  /// repeated and corrupt files (quarantined by the Session) are
+  /// backoff (`min(retry_backoff_ms * 2^attempt, retry_backoff_cap_ms)`; see
+  /// retry_backoff_delay_ms for the saturation rules). Session-backed
+  /// circuits resume each retry from their last good artifact, so work is
+  /// never repeated and corrupt files (quarantined by the Session) are
   /// regenerated. PermanentError — and any exception outside the deterrent
   /// taxonomy — skips the retries and quarantines the circuit immediately.
   std::size_t max_retries = 2;
   double retry_backoff_ms = 50.0;
+  /// Upper bound on a single backoff sleep. 0 disables the cap (the exponent
+  /// itself still saturates, so the delay stays finite regardless).
+  double retry_backoff_cap_ms = 10000.0;
   /// Per-stage watchdog deadline handed to every stage call (see
   /// StageControl::stage_timeout_seconds); a control passed to run() with
   /// its own non-zero value wins. 0 = no watchdog.
@@ -169,6 +182,16 @@ class Campaign {
   CampaignConfig config_;
   std::vector<CampaignCircuit> circuits_;
   Evaluator evaluator_;
+  /// Shared across all circuit workers (ArtifactCache is thread-safe);
+  /// created lazily by run() when config_.cache_dir is set.
+  std::unique_ptr<ArtifactCache> cache_;
 };
+
+/// The campaign retry delay for attempt N (0-based): exponential
+/// `base_ms * 2^attempt` with the exponent saturated (a large attempt count
+/// must not shift past the width of the mantissa, let alone the 64-bit shift
+/// UB the unclamped version had) and the result capped at `cap_ms` when
+/// cap_ms > 0. base_ms <= 0 disables backoff entirely.
+double retry_backoff_delay_ms(double base_ms, std::size_t attempt, double cap_ms);
 
 }  // namespace deterrent::core

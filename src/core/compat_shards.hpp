@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/compatibility.hpp"
+#include "core/artifacts.hpp"
+
+namespace deterrent::core {
+
+/// One shard's output of a sharded compatibility build: a full-width,
+/// symmetric partial matrix covering the pairs (i, j) with
+/// row_begin <= i < row_end, j >= i, plus that shard's phase-1/phase-2
+/// counters. Partials merge by ORing rows (CompatibilityMatrix::merge_or);
+/// summing their stats reproduces the monolithic build's deterministic
+/// counters. Persisted under the session's shard scratch directory so an
+/// interrupted build resumes from the shards that finished — and so remote
+/// workers can produce them independently and ship them back.
+struct CompatShardPartial {
+  std::uint64_t netlist_fingerprint = 0;
+  std::uint64_t rare_hash = 0;  ///< binds to the producing rare-net set
+  std::uint32_t shard_index = 0;
+  std::uint32_t row_begin = 0;
+  std::uint32_t row_end = 0;
+  analysis::CompatibilityMatrix matrix;
+  analysis::CompatibilityBuildStats stats;  ///< this shard's counters only
+
+  void save(const std::string& path) const;
+  static CompatShardPartial load(const std::string& path,
+                                 std::uint64_t expected_fingerprint = 0);
+};
+
+/// The chunk manifest of a sharded compatibility build: the deterministic
+/// shard plan plus the hashes that pin it to one (netlist, rare nets, build
+/// config, witness table) tuple. Serialized before any shard runs, so a
+/// killed build — or a fleet of remote workers — can each load the manifest,
+/// claim chunks, and produce partials that are guaranteed mergeable.
+struct CompatShardManifest {
+  std::uint64_t netlist_fingerprint = 0;
+  std::uint64_t rare_hash = 0;
+  /// compat_build_hash over the build config + phase-1 signatures: a manifest
+  /// whose inputs drifted (different patterns, budgets, shard count) is
+  /// stale and the scratch directory is rebuilt from scratch.
+  std::uint64_t build_hash = 0;
+  std::uint64_t shard_count = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+
+  void save(const std::string& path) const;
+  static CompatShardManifest load(const std::string& path,
+                                  std::uint64_t expected_fingerprint = 0);
+};
+
+/// Content hash binding a shard build to its inputs: every
+/// CompatibilityBuildConfig knob the shard path consumes plus the full
+/// phase-1 signature table (whose bits decide which pairs reach SAT).
+std::uint64_t compat_build_hash(const analysis::CompatibilityBuildConfig& config,
+                                std::span<const util::BitVec> signatures);
+
+/// The pipeline's compatibility-build front door. With shard_count < 2 or no
+/// scratch directory this is exactly analysis::build_compatibility (which
+/// already handles in-memory sharding). With both, each finished shard is
+/// persisted as a CompatShardPartial under `scratch_dir` next to a
+/// CompatShardManifest, and a re-run after a kill loads the valid partials
+/// (corrupt ones are removed and rebuilt) and only computes the missing
+/// shards — the kill-mid-merge resume path. The caller owns scratch-dir
+/// cleanup after the merged artifact has been persisted (Session::save).
+analysis::CompatibilityMatrix build_sharded_compatibility(
+    const netlist::Netlist& netlist, std::span<const analysis::RareNet> rare_nets,
+    const analysis::CompatibilityBuildConfig& config, util::Rng& rng,
+    util::ThreadPool* pool, analysis::CompatibilityBuildStats* stats,
+    std::vector<util::BitVec>* signatures_out, const std::string& scratch_dir,
+    std::uint64_t netlist_fingerprint, std::uint64_t rare_hash);
+
+}  // namespace deterrent::core

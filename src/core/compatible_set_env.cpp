@@ -366,6 +366,13 @@ void CompatibleSetVectorEnv::build_constraints(const Lane& lane,
         {rare_nets_[extra_action].net, rare_nets_[extra_action].rare_value});
 }
 
+util::ThreadPool* CompatibleSetVectorEnv::dispatch_pool() {
+  if (config_.sat_dispatch_threads < 2) return nullptr;
+  if (!dispatch_pool_)
+    dispatch_pool_ = std::make_unique<util::ThreadPool>(config_.sat_dispatch_threads);
+  return dispatch_pool_.get();
+}
+
 sat::Portfolio& CompatibleSetVectorEnv::shared_portfolio() {
   if (!portfolio_) {
     sat::PortfolioConfig pc;
@@ -386,13 +393,17 @@ bool CompatibleSetVectorEnv::solve_joint(std::size_t lane,
     return lane_oracle(lane)
         .try_satisfiable(constraints, config_.sat_conflict_budget)
         .value_or(false);
-  sat::Portfolio::Query query;
-  query.conflict_budget = config_.sat_conflict_budget;
+  // Single-query portfolio path: the race mode, so with a dispatch pool every
+  // clone attacks the one lane's query and the first finisher cancels the
+  // rest (lane-level early exit). Pool-less this is exactly clone 0.
+  std::vector<sat::Lit> assumptions;
+  assumptions.reserve(constraints.size());
   for (const auto& c : constraints)
-    query.assumptions.push_back(sat::mk_lit(c.net, /*negated=*/!c.value));
+    assumptions.push_back(sat::mk_lit(c.net, /*negated=*/!c.value));
   ++portfolio_queries_;
-  const auto results = shared_portfolio().solve_batch({&query, 1});
-  return results[0] == sat::Solver::Result::Sat;
+  return shared_portfolio().solve_one(assumptions, dispatch_pool(),
+                                      config_.sat_conflict_budget) ==
+         sat::Solver::Result::Sat;
 }
 
 std::size_t CompatibleSetVectorEnv::longest_satisfiable_prefix(std::size_t l) {
@@ -526,7 +537,8 @@ void CompatibleSetVectorEnv::step(std::span<const std::uint32_t> actions,
   // Phase 2 — batched SAT dispatch for the witness misses.
   if (pending.size() > 1) ++batched_dispatches_;
   if (backend_ == SatBackend::SharedPortfolio && !pending.empty()) {
-    // One portfolio batch answers the whole step.
+    // One portfolio batch answers the whole step; with a dispatch pool the
+    // clones work-steal down the lane queries instead of round-robining.
     std::vector<sat::Portfolio::Query> queries;
     queries.reserve(pending.size());
     for (const std::size_t l : pending) {
@@ -538,16 +550,34 @@ void CompatibleSetVectorEnv::step(std::span<const std::uint32_t> actions,
       queries.push_back(std::move(q));
     }
     portfolio_queries_ += queries.size();
-    const auto results = shared_portfolio().solve_batch(queries);
+    const auto results = shared_portfolio().solve_batch(queries, dispatch_pool());
     for (std::size_t q = 0; q < pending.size(); ++q)
       verdicts[pending[q]] = results[q] == sat::Solver::Result::Sat
                                  ? Verdict::Accept
                                  : Verdict::Reject;
-  } else {
-    for (const std::size_t l : pending) {
-      build_constraints(lanes_[l], actions[l]);
-      verdicts[l] =
-          solve_joint(l, scratch_constraints_) ? Verdict::Accept : Verdict::Reject;
+  } else if (!pending.empty()) {
+    // PerLane: constraints are staged sequentially (scratch_constraints_ is
+    // shared), then each pending lane solves on its private oracle — the
+    // exact query stream its scalar twin would see, so the verdicts are
+    // bit-identical whether the lanes run sequentially or across the pool.
+    std::vector<std::vector<sat::Constraint>> staged(pending.size());
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      build_constraints(lanes_[pending[k]], actions[pending[k]]);
+      staged[k] = scratch_constraints_;
+    }
+    const auto solve_pending = [&](std::size_t k) {
+      const std::size_t l = pending[k];
+      verdicts[l] = lane_oracle(l)
+                            .try_satisfiable(staged[k], config_.sat_conflict_budget)
+                            .value_or(false)
+                        ? Verdict::Accept
+                        : Verdict::Reject;
+    };
+    util::ThreadPool* pool = dispatch_pool();
+    if (pool != nullptr && pending.size() > 1) {
+      pool->parallel_for(pending.size(), solve_pending);
+    } else {
+      for (std::size_t k = 0; k < pending.size(); ++k) solve_pending(k);
     }
   }
 

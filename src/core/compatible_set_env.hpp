@@ -75,6 +75,17 @@ struct EnvConfig {
   /// setups (high lane counts) can spend more on the passes than they save —
   /// measure before enabling.
   sat::OracleConfig oracle;
+  /// Worker threads for the vectorized env's lane SAT dispatch; 0/1 =
+  /// sequential (the bit-reproducible reference), >= 2 creates a private
+  /// pool. PerLane solves the step's pending lanes on their private oracles
+  /// concurrently — each oracle still sees exactly its scalar twin's query
+  /// stream, so results stay bit-identical at any thread count. With
+  /// SharedPortfolio the pool reaches sat::Portfolio::solve_batch
+  /// (work-stealing across clones) and solve_one (first-finisher race =
+  /// lane-level early exit on single queries); Sat/Unsat answers are
+  /// unchanged, only budget-exhausted Unknowns can vary with scheduling, as
+  /// the portfolio already documents. Ignored by the scalar env.
+  std::size_t sat_dispatch_threads = 0;
 };
 
 /// The DETERRENT Markov decision process (§3.1):
@@ -222,6 +233,8 @@ class CompatibleSetVectorEnv final : public rl::VectorEnv {
   bool pairwise_ok(const Lane& lane, std::uint32_t action) const;
   sat::NetlistOracle& lane_oracle(std::size_t lane);
   sat::Portfolio& shared_portfolio();
+  /// Lazy dispatch pool; nullptr when config.sat_dispatch_threads < 2.
+  util::ThreadPool* dispatch_pool();
   void build_constraints(const Lane& lane, std::uint32_t extra_action);
   /// Answers "are these constraints jointly satisfiable" through the
   /// configured backend; exhausted budgets report false (conservative).
@@ -241,6 +254,7 @@ class CompatibleSetVectorEnv final : public rl::VectorEnv {
   std::vector<Lane> lanes_;
   std::vector<std::unique_ptr<sat::NetlistOracle>> oracles_;  // PerLane, lazy
   std::unique_ptr<sat::Portfolio> portfolio_;                 // SharedPortfolio, lazy
+  std::unique_ptr<util::ThreadPool> dispatch_pool_;           // lazy, see dispatch_pool()
   std::vector<sat::Constraint> scratch_constraints_;
   std::uint64_t portfolio_queries_ = 0;
   std::uint64_t witness_hits_ = 0;

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "analysis/lint.hpp"
+#include "core/compat_shards.hpp"
 #include "netlist/stats.hpp"
 #include "sat/oracle.hpp"
 #include "util/assert.hpp"
@@ -172,9 +173,10 @@ StageStatus Pipeline::run_compatibility(const StageControl& control) {
     util::Rng rng;
     rng.set_state(offline_rng_state_);
     util::ThreadPool workers(config_.offline_threads);
-    matrix_ = analysis::build_compatibility(*netlist_, rare_nets_, config_.compat, rng,
-                                            &workers, &compat_stats_,
-                                            &witness_signatures_);
+    matrix_ = build_sharded_compatibility(*netlist_, rare_nets_, config_.compat, rng,
+                                          &workers, &compat_stats_,
+                                          &witness_signatures_, compat_scratch_dir_,
+                                          fingerprint_, rare_hash());
     util::Log::info("pipeline: prepared ", rare_nets_.size(), " rare nets, ",
                     matrix_->edge_count(), " compatible pairs (",
                     compat_stats_.sim_resolved, " sim, ", compat_stats_.sat_sat,
@@ -407,7 +409,11 @@ PolicyArtifact Pipeline::export_policy() const {
   a.netlist_fingerprint = fingerprint_;
   a.rare_hash = rare_hash();
   a.trainer = trainer_ ? trainer_->state() : *pending_trainer_state_;
-  a.pool_sets = pool_.all();
+  // Canonical (size-descending, content tie-broken) order, not the hash-set
+  // iteration order of all(): a save → adopt → save round trip must emit
+  // byte-identical policy artifacts, or the artifact cache and any
+  // byte-comparing resume check would see spurious differences.
+  a.pool_sets = pool_.k_largest(pool_.size());
   a.history = history_;
   a.train_seconds = train_seconds_;
   return a;

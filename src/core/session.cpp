@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <optional>
 
+#include "core/artifact_cache.hpp"
 #include "netlist/stats.hpp"
 #include "util/assert.hpp"
 #include "util/faults.hpp"
@@ -76,6 +77,12 @@ void Session::save(const Pipeline& pipeline) const {
     pipeline.export_rare_nets().save(path(kRareFile));
   if (pipeline.compatibility_done() && !has_compatibility())
     pipeline.export_compatibility().save(path(kCompatFile));
+  // With the merged matrix safely on disk, the shard scratch directory is
+  // dead weight — an interrupted build's partials were already adopted.
+  if (pipeline.compatibility_done() && has_compatibility()) {
+    std::error_code ec;
+    fs::remove_all(path(kCompatShardDir), ec);
+  }
   // A poisoned pipeline's trainer state may be torn mid-update; persisting
   // it would checkpoint garbage, so keep the previous on-disk policy.
   if (!pipeline.history().empty() && !pipeline.poisoned())
@@ -91,6 +98,58 @@ void Session::save(const Pipeline& pipeline) const {
     if (ec)
       throw Error("Session: cannot remove stale " + path(kPatternFile) + ": " +
                   ec.message());
+  }
+  publish_to_cache(pipeline);
+}
+
+void Session::publish_to_cache(const Pipeline& pipeline) const {
+  if (cache_ == nullptr) return;
+  const std::uint64_t cfg = config_hash(pipeline.config());
+  // A failed publish only costs future cache misses — the session copy stays
+  // authoritative — so nothing here may fail the save.
+  auto publish = [&](ArtifactKind kind, const char* file) {
+    try {
+      cache_->store(fingerprint_, cfg, kind, path(file));
+    } catch (const Error& e) {
+      util::Log::warn("session: cache publish of ", file, " failed (", e.what(), ")");
+    }
+  };
+  if (pipeline.lint_done() && has_lint()) publish(ArtifactKind::Lint, kLintFile);
+  if (pipeline.rare_nets_done() && has_rare_nets())
+    publish(ArtifactKind::RareNets, kRareFile);
+  if (pipeline.compatibility_done() && has_compatibility())
+    publish(ArtifactKind::Compatibility, kCompatFile);
+  // Policy evolves during training; only the finished run's artifacts are
+  // cache-worthy (a mid-training checkpoint served to another session would
+  // smuggle in a partial policy under a key that promises the final one).
+  if (pipeline.next_stage() == Stage::Done && !pipeline.poisoned()) {
+    if (has_policy()) publish(ArtifactKind::Policy, kPolicyFile);
+    if (has_patterns()) publish(ArtifactKind::Patterns, kPatternFile);
+  }
+}
+
+void Session::hydrate_from_cache(const DeterrentConfig& config) const {
+  if (cache_ == nullptr) return;
+  const std::uint64_t cfg = config_hash(config);
+  // The lint verdict is a sidecar: hydrate it independently, a miss does not
+  // gate the stage artifacts below.
+  if (!has_lint()) (void)cache_->fetch(fingerprint_, cfg, ArtifactKind::Lint, path(kLintFile));
+  // Stage artifacts hydrate in prefix order and stop at the first miss — a
+  // later entry without its predecessors would be ignored by resume anyway
+  // (and with the hash-chain checks, could never adopt).
+  struct StageEntry {
+    ArtifactKind kind;
+    const char* file;
+  };
+  static constexpr StageEntry kStages[] = {
+      {ArtifactKind::RareNets, kRareFile},
+      {ArtifactKind::Compatibility, kCompatFile},
+      {ArtifactKind::Policy, kPolicyFile},
+      {ArtifactKind::Patterns, kPatternFile},
+  };
+  for (const auto& stage : kStages) {
+    if (fs::exists(path(stage.file))) continue;
+    if (!cache_->fetch(fingerprint_, cfg, stage.kind, path(stage.file))) break;
   }
 }
 
@@ -144,7 +203,9 @@ std::unique_ptr<Pipeline> Session::resume_or_init(const DeterrentConfig& fallbac
 }
 
 std::unique_ptr<Pipeline> Session::resume_prefix(const DeterrentConfig& config) const {
+  hydrate_from_cache(config);
   auto pipeline = std::make_unique<Pipeline>(*netlist_, config);
+  pipeline->set_compat_scratch_dir((fs::path(dir_) / kCompatShardDir).string());
   // Sidecar, not prefix: a bad lint file is quarantined, but the prefix
   // continues — losing the stored warnings must not force an offline-phase
   // rebuild (and a rejected verdict is re-derived by re-linting anyway).

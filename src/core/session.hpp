@@ -8,6 +8,8 @@
 
 namespace deterrent::core {
 
+class ArtifactCache;
+
 /// Directory-backed persistence for a Pipeline run.
 ///
 /// A session owns one directory holding a meta artifact (config echo +
@@ -59,6 +61,9 @@ class Session {
   static constexpr const char* kCompatFile = "compatibility.art";
   static constexpr const char* kPolicyFile = "policy.art";
   static constexpr const char* kPatternFile = "patterns.art";
+  /// Scratch directory for a sharded compatibility build (manifest + shard
+  /// partials); removed by save() once the merged artifact is on disk.
+  static constexpr const char* kCompatShardDir = "compat_shards";
 
   /// Binds a directory (created if missing) to a netlist. The netlist must
   /// outlive the session.
@@ -109,12 +114,27 @@ class Session {
   /// (session-relative names, e.g. "policy.art").
   const std::vector<std::string>& quarantined() const { return quarantined_; }
 
+  /// Attaches a shared content-addressed cache (non-owning; may be nullptr to
+  /// detach). With a cache attached, resume hydrates missing stage files from
+  /// entries keyed by (netlist fingerprint, config hash, kind) before walking
+  /// the prefix — so a previously-seen design skips straight past its offline
+  /// stages — and save() publishes completed artifacts back. Cached entries
+  /// are validated exactly like session files on every fetch; a corrupt entry
+  /// is evicted and the stage regenerates (never trusted). Policy and pattern
+  /// artifacts are only published once the run is complete, so the cache holds
+  /// deterministic final artifacts, never mid-training checkpoints.
+  void attach_cache(ArtifactCache* cache) { cache_ = cache; }
+  ArtifactCache* cache() const { return cache_; }
+
  private:
   std::unique_ptr<Pipeline> resume_prefix(const DeterrentConfig& config) const;
+  void hydrate_from_cache(const DeterrentConfig& config) const;
+  void publish_to_cache(const Pipeline& pipeline) const;
 
   std::string dir_;
   const netlist::Netlist* netlist_;
   std::uint64_t fingerprint_ = 0;
+  ArtifactCache* cache_ = nullptr;  // non-owning, see attach_cache
   mutable std::vector<std::string> quarantined_;
 };
 

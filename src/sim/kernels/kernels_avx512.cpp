@@ -4,8 +4,9 @@
 // the flag is unavailable the TU degrades to a nullptr factory and runtime
 // dispatch never offers the backend.
 //
-// Tails (W not a multiple of 8) run scalar; masked-tail variants are a noted
-// follow-on in ROADMAP.md.
+// Tails (W not a multiple of 8) finish with one k-masked wide op (see the
+// masked-tail traits in kernels_impl.hpp) — bit-identical to the scalar tail,
+// since masked stores never touch inactive lanes.
 #include "sim/kernels/kernel_table.hpp"
 
 #if defined(__AVX512F__)
@@ -30,6 +31,18 @@ struct Avx512Vec {
   // NOT via one ternary-logic op (0x55 = ~a) instead of xor-with-ones: saves
   // materializing the all-ones constant in the NAND/NOR/XNOR kernels.
   static Reg not_(Reg a) { return _mm512_ternarylogic_epi64(a, a, a, 0x55); }
+  // Masked-tail support: ragged W finishes with one predicated op. Masked
+  // loads zero-fill inactive lanes; masked stores leave them untouched.
+  using Mask = __mmask8;
+  static Mask tail_mask(std::size_t n) {
+    return static_cast<Mask>((1u << n) - 1u);
+  }
+  static Reg mask_load(Mask m, const std::uint64_t* p) {
+    return _mm512_maskz_loadu_epi64(m, p);
+  }
+  static void mask_store(std::uint64_t* p, Mask m, Reg v) {
+    _mm512_mask_storeu_epi64(p, m, v);
+  }
 };
 
 // constinit: the factory below runs on EVERY host during ISA detection

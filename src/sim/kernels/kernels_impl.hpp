@@ -36,6 +36,17 @@ struct ScalarVec {
   static Reg not_(Reg a) { return ~a; }
 };
 
+/// Detected when the traits type V provides masked-tail support (a Mask type
+/// plus tail_mask/mask_load/mask_store): ragged widths W ∉ {lanes, 2·lanes,
+/// …} then finish with one predicated wide op instead of a scalar word loop.
+/// Masked loads zero inactive lanes and masked stores never touch them, and
+/// every kernel here is a pure per-lane bitwise function, so the written
+/// words are bit-identical to the scalar tail's.
+template <class V, class = void>
+struct has_masked_tail : std::false_type {};
+template <class V>
+struct has_masked_tail<V, std::void_t<typename V::Mask>> : std::true_type {};
+
 // Word-level boolean functors, generic over the vector traits so one functor
 // serves both the wide body and the scalar tail of a loop.
 struct FBuf {
@@ -83,16 +94,23 @@ struct FXnor {
   }
 };
 
-/// out[w] = F(a[w]) over W words: V-wide body, scalar tail. WordCount is
-/// either std::integral_constant (compile-time W, fully unrolled) or
-/// std::size_t.
+/// out[w] = F(a[w]) over W words: V-wide body, masked or scalar tail.
+/// WordCount is either std::integral_constant (compile-time W, fully
+/// unrolled) or std::size_t.
 template <class V, class F, class WordCount>
 inline void map1(const std::uint64_t* a, std::uint64_t* out, WordCount n_words) {
   const std::size_t W = n_words;
   std::size_t w = 0;
   for (; w + V::lanes <= W; w += V::lanes)
     V::store(out + w, F::template go<V>(V::load(a + w)));
-  for (; w < W; ++w) out[w] = F::template go<ScalarVec>(a[w]);
+  if constexpr (has_masked_tail<V>::value) {
+    if (w < W) {
+      const typename V::Mask m = V::tail_mask(W - w);
+      V::mask_store(out + w, m, F::template go<V>(V::mask_load(m, a + w)));
+    }
+  } else {
+    for (; w < W; ++w) out[w] = F::template go<ScalarVec>(a[w]);
+  }
 }
 
 /// out[w] = F(a[w], b[w]) over W words.
@@ -103,7 +121,15 @@ inline void map2(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* 
   std::size_t w = 0;
   for (; w + V::lanes <= W; w += V::lanes)
     V::store(out + w, F::template go<V>(V::load(a + w), V::load(b + w)));
-  for (; w < W; ++w) out[w] = F::template go<ScalarVec>(a[w], b[w]);
+  if constexpr (has_masked_tail<V>::value) {
+    if (w < W) {
+      const typename V::Mask m = V::tail_mask(W - w);
+      V::mask_store(out + w, m,
+                    F::template go<V>(V::mask_load(m, a + w), V::mask_load(m, b + w)));
+    }
+  } else {
+    for (; w < W; ++w) out[w] = F::template go<ScalarVec>(a[w], b[w]);
+  }
 }
 
 /// N-ary reduction for the CSR ops: out = f0 FAcc f1 FAcc ... (then ~out when
@@ -134,13 +160,21 @@ inline void eval_op_impl(const ProgramView& p, std::size_t k, const std::uint64_
     case Op::Const0: {
       std::size_t w = 0;
       for (; w + V::lanes <= W; w += V::lanes) V::store(out + w, V::zero());
-      for (; w < W; ++w) out[w] = 0;
+      if constexpr (has_masked_tail<V>::value) {
+        if (w < W) V::mask_store(out + w, V::tail_mask(W - w), V::zero());
+      } else {
+        for (; w < W; ++w) out[w] = 0;
+      }
       break;
     }
     case Op::Const1: {
       std::size_t w = 0;
       for (; w + V::lanes <= W; w += V::lanes) V::store(out + w, V::ones());
-      for (; w < W; ++w) out[w] = ~0ULL;
+      if constexpr (has_masked_tail<V>::value) {
+        if (w < W) V::mask_store(out + w, V::tail_mask(W - w), V::ones());
+      } else {
+        for (; w < W; ++w) out[w] = ~0ULL;
+      }
       break;
     }
     case Op::Buf: map1<V, FBuf>(a, out, n_words); break;

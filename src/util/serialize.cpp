@@ -274,53 +274,65 @@ void apply_torn_write(const std::string& tmp, faults::Action action,
 
 }  // namespace
 
-void write_artifact_file(const std::string& path, const ArtifactHeader& header,
-                         std::span<const std::uint8_t> payload) {
+void write_file_atomic(const std::string& path, std::span<const std::uint8_t> bytes,
+                       const char* fault_site) {
   // Injected faults: Throw/Hang fire here; torn actions are applied to the
   // finished file below, modeling a crash the write-then-rename protocol
   // could not mask.
   const faults::detail::WriteFault torn =
-      faults::armed() ? faults::detail::on_write("serialize.write_artifact")
-                      : faults::detail::WriteFault{};
-
-  BinaryWriter envelope;
-  envelope.u8(static_cast<std::uint8_t>(kMagic[0]));
-  envelope.u8(static_cast<std::uint8_t>(kMagic[1]));
-  envelope.u8(static_cast<std::uint8_t>(kMagic[2]));
-  envelope.u8(static_cast<std::uint8_t>(kMagic[3]));
-  envelope.u32(header.kind);
-  envelope.u32(header.version);
-  envelope.u64(header.fingerprint);
-  envelope.u64(payload.size());
+      (fault_site != nullptr && faults::armed()) ? faults::detail::on_write(fault_site)
+                                                 : faults::detail::WriteFault{};
 
   // Write-then-fsync-then-rename so a crash (or kill, or power loss) mid-save
-  // can never leave a half-written artifact under the final name — a
-  // checkpoint either exists completely or not at all.
+  // can never leave a half-written file under the final name — it either
+  // exists completely or not at all.
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) throw TransientError("cannot write artifact file " + tmp);
-  bool ok = std::fwrite(envelope.bytes().data(), 1, envelope.bytes().size(), f) ==
-            envelope.bytes().size();
-  ok = ok && (payload.empty() ||
-              std::fwrite(payload.data(), 1, payload.size(), f) == payload.size());
-  BinaryWriter tail;
-  tail.u32(crc32(payload));
-  ok = ok &&
-       std::fwrite(tail.bytes().data(), 1, tail.bytes().size(), f) == tail.bytes().size();
+  if (f == nullptr) throw TransientError("cannot write file " + tmp);
+  bool ok =
+      bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
   ok = sync_file(f) && ok;
   ok = std::fclose(f) == 0 && ok;
   if (!ok) {
     std::remove(tmp.c_str());
-    throw TransientError("short write to artifact file " + tmp);
+    throw TransientError("short write to file " + tmp);
   }
   if (torn.action == faults::Action::TornTruncate ||
       torn.action == faults::Action::TornBitFlip)
     apply_torn_write(tmp, torn.action, torn.corrupt_seed);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    throw TransientError("cannot move artifact into place at " + path);
+    throw TransientError("cannot move file into place at " + path);
   }
   sync_parent_dir(path);
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw TransientError("cannot open file " + path);
+  std::vector<std::uint8_t> raw;
+  std::uint8_t chunk[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+    raw.insert(raw.end(), chunk, chunk + n);
+  std::fclose(f);
+  return raw;
+}
+
+void write_artifact_file(const std::string& path, const ArtifactHeader& header,
+                         std::span<const std::uint8_t> payload) {
+  BinaryWriter file;
+  file.u8(static_cast<std::uint8_t>(kMagic[0]));
+  file.u8(static_cast<std::uint8_t>(kMagic[1]));
+  file.u8(static_cast<std::uint8_t>(kMagic[2]));
+  file.u8(static_cast<std::uint8_t>(kMagic[3]));
+  file.u32(header.kind);
+  file.u32(header.version);
+  file.u64(header.fingerprint);
+  file.u64(payload.size());
+  file.raw(payload);
+  file.u32(crc32(payload));
+  write_file_atomic(path, file.bytes(), "serialize.write_artifact");
 }
 
 std::vector<std::uint8_t> read_artifact_file(const std::string& path,

@@ -24,6 +24,10 @@ class BinaryWriter {
   void boolean(bool v) { u8(v ? 1 : 0); }
   /// Length-prefixed UTF-8 bytes.
   void str(const std::string& s);
+  /// Raw bytes, verbatim, no length prefix (envelope assembly).
+  void raw(std::span<const std::uint8_t> v) {
+    bytes_.insert(bytes_.end(), v.begin(), v.end());
+  }
   /// Length-prefixed bit count + words.
   void bitvec(const BitVec& bv);
 
@@ -91,6 +95,19 @@ struct Fnv1a {
   /// "no fingerprint / skip the check" sentinel.
   std::uint64_t value_nonzero() const { return h == 0 ? 1 : h; }
 };
+
+/// Atomically publishes raw bytes at `path` via the same
+/// write-then-fsync-then-rename protocol as write_artifact_file, so a crash
+/// mid-write can never leave a torn file under the final name. `fault_site`,
+/// when non-null, names the injection site consulted for throw/hang/torn
+/// actions (see util/faults.hpp); the artifact cache and shard scratch files
+/// route through here with their own sites.
+void write_file_atomic(const std::string& path, std::span<const std::uint8_t> bytes,
+                       const char* fault_site = nullptr);
+
+/// Whole-file read; throws TransientError when the file cannot be opened
+/// (existence says nothing about validity — callers envelope-check the bytes).
+std::vector<std::uint8_t> read_file_bytes(const std::string& path);
 
 /// On-disk artifact envelope:
 ///

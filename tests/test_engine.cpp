@@ -565,7 +565,9 @@ TEST(EngineSimd, IsaNamesRoundTrip) {
 
 /// Full evaluate: every supported backend must produce a value buffer
 /// bit-identical to the scalar backend's, for every net and word — including
-/// sweep widths that exercise the wide kernels' scalar tails (W=3, W=5).
+/// ragged sweep widths that exercise the wide kernels' tail handling (the
+/// AVX-512 masked tail and the scalar tails of narrower backends) both below
+/// one register (W=3, 5, 7) and past it (W=9, 11, 13).
 TEST(EngineSimd, BackendsBitIdenticalOnEvaluate) {
   for (const std::uint64_t seed : {1, 2, 3}) {
     const Netlist nl = random_circuit(seed, 300, 14);
@@ -575,7 +577,9 @@ TEST(EngineSimd, BackendsBitIdenticalOnEvaluate) {
       const Engine backend(nl, isa);
       EXPECT_EQ(backend.isa(), isa);
       for (const std::size_t words :
-           {std::size_t{1}, std::size_t{3}, std::size_t{5}, std::size_t{8}}) {
+           {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+            std::size_t{7}, std::size_t{8}, std::size_t{9}, std::size_t{11},
+            std::size_t{13}}) {
         util::Rng rng(seed * 71 + words);
         const auto inputs = random_input_words(nl.inputs().size(), words, rng);
         EvalBuffer ref, got;
@@ -597,7 +601,8 @@ TEST(EngineSimd, BackendsBitIdenticalOnResimulate) {
   const Engine scalar_engine(nl, kernels::Isa::Scalar);
   for (const auto isa : kernels::supported_isas()) {
     const Engine backend(nl, isa);
-    for (const std::size_t words : {std::size_t{1}, std::size_t{8}}) {
+    for (const std::size_t words : {std::size_t{1}, std::size_t{7}, std::size_t{8},
+                                    std::size_t{11}}) {
       util::Rng rng(words * 131 + 7);
       auto inputs = random_input_words(n_inputs, words, rng);
       EvalBuffer ref, got;

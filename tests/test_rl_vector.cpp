@@ -635,6 +635,34 @@ TEST(VectorEnvDifferential, SharedPortfolioBackendMatchesPerLane) {
                             /*expect_exact_sat_count=*/false);
 }
 
+TEST(VectorEnvDifferential, PooledSatDispatchIsBitIdenticalAtEveryLaneCount) {
+  // sat_dispatch_threads >= 2 routes lane SAT queries through a private
+  // thread pool. For the PerLane backend this must be bit-identical to the
+  // sequential reference at every lane count (each lane's private oracle
+  // sees its scalar twin's exact query stream, whatever thread executes it),
+  // so the full lock-step differential — observations, masks, rewards,
+  // members, SAT query counts — runs with exact matching. The clause-sharing
+  // SharedPortfolio backend gets the same sweep under its existing contract
+  // (trajectory equality; only budget-exhausted Unknowns may legally differ,
+  // and this fixture never exhausts).
+  const Fixture f = make_fixture(55);
+  if (f.rare.size() < 6) GTEST_SKIP();
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{2}, std::size_t{5}}) {
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{3}}) {
+      EnvConfig cfg;
+      cfg.sat_dispatch_threads = threads;
+      SCOPED_TRACE(testing::Message()
+                   << "lanes=" << lanes << " dispatch_threads=" << threads);
+      run_lockstep_differential(f, cfg, lanes, /*episodes_per_lane=*/2,
+                                CompatibleSetVectorEnv::SatBackend::PerLane,
+                                /*expect_exact_sat_count=*/true);
+      run_lockstep_differential(f, cfg, lanes, /*episodes_per_lane=*/2,
+                                CompatibleSetVectorEnv::SatBackend::SharedPortfolio,
+                                /*expect_exact_sat_count=*/false);
+    }
+  }
+}
+
 // ------------------------------------------------- lane isolation (prop) ---
 
 struct LaneTrace {

@@ -154,6 +154,25 @@ TEST(Robustness, CorruptMetaFallsBackToSuppliedConfig) {
 
 // -------------------------------------------------- campaign retries ------
 
+TEST(Robustness, RetryBackoffScheduleIsClampedAndCapped) {
+  // base 1ms, cap 10ms: 1, 2, 4, 8, then pinned at the cap forever.
+  const double expected[] = {1.0, 2.0, 4.0, 8.0, 10.0, 10.0, 10.0};
+  for (std::size_t attempt = 0; attempt < 7; ++attempt)
+    EXPECT_DOUBLE_EQ(retry_backoff_delay_ms(1.0, attempt, 10.0),
+                     expected[attempt])
+        << "attempt " << attempt;
+  // Attempt numbers far past the shift width neither overflow nor wrap back
+  // to a short sleep — the old `base * (1ULL << attempt)` did exactly that.
+  EXPECT_DOUBLE_EQ(retry_backoff_delay_ms(1.0, 4000, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_delay_ms(250.0, ~std::size_t{0}, 1000.0), 1000.0);
+  // cap <= 0 disables the cap, but the exponent still saturates at 62.
+  EXPECT_DOUBLE_EQ(retry_backoff_delay_ms(1.0, 100, 0.0),
+                   static_cast<double>(1ULL << 62));
+  // Non-positive base never sleeps, whatever the attempt.
+  EXPECT_DOUBLE_EQ(retry_backoff_delay_ms(0.0, 5, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(retry_backoff_delay_ms(-3.0, 5, 10.0), 0.0);
+}
+
 TEST(Robustness, CampaignRetriesTransientFaultAndSucceeds) {
   DisarmGuard guard;
   const Netlist nl = make_circuit(73);
@@ -363,11 +382,17 @@ TEST(Robustness, FaultInjectionSoakNeverCrashesAndHealsBitIdentically) {
   ASSERT_EQ(clean.completed, 3u);
 
   // Fault plan: every compiled site armed with a one-shot (Nth-hit) fault —
-  // two transient throws, a hang long enough that only the watchdog ends it,
-  // a silent bit flip, and a load-time throw (which needs a retry's resume
+  // transient throws, a hang long enough that only the watchdog ends it,
+  // silent bit flips, and a load-time throw (which needs a retry's resume
   // to even reach a load). All fire within the first circuit's attempts.
+  // The faulted campaign also shares an artifact cache so the cache.* sites
+  // are reachable: cache.fetch throws on the first hydration probe, and
+  // cache.store tears a published entry (any later probe of that entry must
+  // evict it rather than serve it — fetch validates the whole envelope).
   TempDir dir("soak");
+  TempDir cache("soak_cache");
   cfg.session_root = dir.str();
+  cfg.cache_dir = cache.str();
   util::faults::arm_from_string(
       "seed=9;"
       "pipeline.stage_boundary=throw@4;"
@@ -375,7 +400,9 @@ TEST(Robustness, FaultInjectionSoakNeverCrashesAndHealsBitIdentically) {
       "sat.portfolio.share=throw@2;"
       "sat.query=hang@5:60000;"
       "serialize.write_artifact=torn-flip@3;"
-      "session.load_artifact=throw@2");
+      "session.load_artifact=throw@2;"
+      "cache.fetch=throw@1;"
+      "cache.store=torn-flip@1");
 
   Campaign campaign(cfg);
   enroll(campaign);
